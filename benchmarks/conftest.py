@@ -1,0 +1,42 @@
+"""Benchmark-harness fixtures.
+
+Every table/figure target shares one memoised
+:class:`~repro.sim.runner.ExperimentRunner`, so the 18-benchmark x
+4-policy simulation grid is executed once per session regardless of
+which benches run.  The per-run instruction budget defaults to 8 000
+and honours ``REPRO_SIM_INSTRUCTIONS`` for higher-fidelity runs.
+
+Rendered tables are written to ``benchmarks/out/`` so a bench run
+leaves the reproduced figures on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sim import ExperimentRunner
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_result(out_dir):
+    """Write an ExperimentResult's rendering to out/<figure_id>.txt."""
+    def _save(result):
+        path = out_dir / f"{result.figure_id.replace('.', '_')}.txt"
+        path.write_text(result.render() + "\n")
+        return result
+    return _save

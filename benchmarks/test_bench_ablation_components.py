@@ -1,0 +1,28 @@
+"""Ablation (§5.2-§5.5): which block family buys how much of DCG's
+total saving.
+
+The paper stresses that "DCG's savings come from all, not any one, of
+the components"; this bench gates one family at a time.
+"""
+
+from repro.analysis.ablations import ablation_dcg_components
+
+
+def test_bench_ablation_components(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: ablation_dcg_components(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # every family contributes...
+    for name in ("units-only", "latches-only", "dcache-only", "bus-only"):
+        assert m[name] > 0.0, name
+    # ...no single family reaches the full saving...
+    assert max(m[n] for n in ("units-only", "latches-only",
+                              "dcache-only", "bus-only")) < m["full"]
+    # ...and the parts add up to the whole (accounting is linear,
+    # modulo the shared control-latch overhead charged once per run)
+    total_parts = (m["units-only"] + m["latches-only"]
+                   + m["dcache-only"] + m["bus-only"])
+    assert abs(total_parts - m["full"]) < 0.02

@@ -1,0 +1,18 @@
+"""Ablation (§3.1): sequential-priority vs round-robin FU binding.
+
+The paper's static priorities keep low-index units busy and high-index
+units gated, so gate controls rarely toggle; round-robin spreads work
+and toggles constantly, burning control power and causing di/dt noise.
+"""
+
+from repro.analysis.ablations import ablation_fu_priority
+
+
+def test_bench_ablation_fu_priority(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: ablation_fu_priority(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    assert m["seq_toggles_per_kcycle"] < m["rr_toggles_per_kcycle"]

@@ -1,0 +1,17 @@
+"""Ablation (§4.3): PLB's 256-cycle sampling-window choice."""
+
+from repro.analysis.ablations import ablation_plb_window
+
+
+def test_bench_ablation_plb_window(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: ablation_plb_window(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # all window sizes must keep PLB functional (positive savings,
+    # bounded performance loss)
+    for window in (64, 256, 1024):
+        assert m[f"saving_w{window}"] > 0.0
+        assert m[f"perf_w{window}"] > 0.85

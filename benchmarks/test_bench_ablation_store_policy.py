@@ -1,0 +1,17 @@
+"""Ablation (§3.3): store gate-control set-up with vs without advance
+knowledge from the load/store queue.
+
+Paper: delaying stores one cycle results in "virtually no performance
+loss" because stores produce no values for the pipeline.
+"""
+
+from repro.analysis.ablations import ablation_store_policy
+
+
+def test_bench_ablation_store_policy(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: ablation_store_policy(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    assert result.measured["mean_store_delay_slowdown"] < 0.02

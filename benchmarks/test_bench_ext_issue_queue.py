@@ -1,0 +1,32 @@
+"""Extension (§2.2.2): DCG composed with [6]'s deterministic
+issue-queue gating.
+
+The paper deliberately leaves the issue queue to [6], which gates
+entries that are deterministically empty or already woken.  Composing
+the two techniques is the natural next step; this bench measures it.
+"""
+
+from repro.analysis.ablations import DEFAULT_ABLATION_BENCHMARKS
+
+
+def test_bench_ext_dcg_plus_issue_queue(benchmark, runner, out_dir):
+    def run():
+        rows = []
+        for bench in DEFAULT_ABLATION_BENCHMARKS:
+            dcg = runner.run(bench, "dcg")
+            combined = runner.run(bench, "dcg+iq")
+            rows.append((bench, dcg, combined))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["DCG vs DCG+[6] issue-queue gating (total power saved):"]
+    for bench, dcg, combined in rows:
+        lines.append(f"  {bench:9s} dcg={dcg.total_saving:6.1%} "
+                     f"dcg+iq={combined.total_saving:6.1%}")
+        # composition is free power: strictly more saving, same cycles
+        assert combined.total_saving > dcg.total_saving, bench
+        assert combined.cycles == dcg.cycles, bench
+    text = "\n".join(lines)
+    (out_dir / "ext-dcg-iq.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,20 @@
+"""Figure 10: total power savings of DCG vs PLB-orig vs PLB-ext.
+
+Paper: DCG saves 20.9 % (INT) / 18.8 % (FP) of total processor power,
+PLB-orig 6.3 % / 4.9 %, PLB-ext 11.0 % / 8.7 %.
+"""
+
+from repro.analysis import fig10_total_power
+
+
+def test_bench_fig10(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: fig10_total_power(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # shape: DCG > PLB-ext > PLB-orig in both suites, magnitudes in band
+    assert m["dcg_int"] > m["plb_ext_int"] > m["plb_orig_int"] > 0
+    assert m["dcg_fp"] > m["plb_ext_fp"] > m["plb_orig_fp"] > 0
+    assert 0.15 <= m["dcg_all"] <= 0.30

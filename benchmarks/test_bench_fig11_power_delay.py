@@ -1,0 +1,22 @@
+"""Figure 11: power-delay savings.
+
+Paper: DCG's power-delay saving equals its power saving (no slowdown);
+PLB-orig delivers 3.5 % / 2.0 % and PLB-ext 8.3 % / 5.9 % after paying
+a 2.9 % performance loss.
+"""
+
+from repro.analysis import fig11_power_delay
+
+
+def test_bench_fig11(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: fig11_power_delay(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    assert m["dcg_perf_loss"] == 0.0
+    assert 0.0 < m["plb_perf_loss"] < 0.10
+    # power-delay keeps the power-saving ordering
+    assert m["dcg_pd_int"] > m["plb_ext_pd_int"] > m["plb_orig_pd_int"]
+    assert m["dcg_pd_fp"] > m["plb_ext_pd_fp"] > m["plb_orig_pd_fp"]

@@ -1,0 +1,18 @@
+"""Figure 12: integer execution-unit power savings.
+
+Paper: DCG saves ~72 % of integer-unit power on average (utilisation
+is ~35 % for INT programs, ~25 % for FP); PLB-ext saves ~29.6 %.
+"""
+
+from repro.analysis import fig12_int_units
+
+
+def test_bench_fig12(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: fig12_int_units(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    assert 0.55 <= m["dcg_int_units_all"] <= 0.95
+    assert m["plb_ext_int_units_all"] < m["dcg_int_units_all"]

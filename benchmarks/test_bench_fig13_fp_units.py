@@ -1,0 +1,23 @@
+"""Figure 13: FP execution-unit power savings.
+
+Paper: DCG saves 77.2 % of FPU power on FP programs and ~100 % on
+integer programs (their FPUs are idle every cycle); PLB-ext manages
+only 23.0 % on FP programs and <25 % on integer ones because its
+cluster granularity cannot gate FPUs while integer IPC is high.
+"""
+
+from repro.analysis import fig13_fp_units
+from repro.workloads import INT_BENCHMARKS
+
+
+def test_bench_fig13(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: fig13_fp_units(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # the paper's sharpest qualitative contrast
+    assert m["dcg_fp_units_int"] > 0.9
+    assert m["plb_ext_fp_units_int"] < 0.6
+    assert m["dcg_fp_units_fp"] > m["plb_ext_fp_units_fp"]

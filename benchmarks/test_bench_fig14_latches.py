@@ -1,0 +1,24 @@
+"""Figure 14: pipeline-latch power savings.
+
+Paper: DCG saves 41.6 % of latch power (net of its ~1 % control-latch
+overhead); PLB-ext saves 17.6 %.  mcf and lucas stand out because
+miss stalls leave their latches idle.
+"""
+
+from repro.analysis import fig14_latches
+
+
+def test_bench_fig14(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: fig14_latches(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    assert 0.30 <= m["dcg_latches_all"] <= 0.60
+    assert m["plb_ext_latches_all"] < m["dcg_latches_all"]
+    # mcf/lucas stand-outs
+    rows = {row[0]: row for row in result.rows}
+    dcg_by_bench = {b: float(rows[b][2].rstrip('%')) for b in rows}
+    top = sorted(dcg_by_bench, key=dcg_by_bench.get, reverse=True)[:4]
+    assert "mcf" in top and "lucas" in top

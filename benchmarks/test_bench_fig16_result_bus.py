@@ -1,0 +1,19 @@
+"""Figure 16: result-bus driver power savings.
+
+Paper: result buses are ~40 % utilised, so DCG saves 59.6 % of their
+power; PLB-ext saves 32.2 % by disabling 2 or 4 of 8 buses in its
+low-power modes.
+"""
+
+from repro.analysis import fig16_result_bus
+
+
+def test_bench_fig16(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: fig16_result_bus(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    assert 0.45 <= m["dcg_result_bus_all"] <= 0.95
+    assert m["plb_ext_result_bus_all"] < m["dcg_result_bus_all"]

@@ -1,0 +1,45 @@
+"""Extension: DCG's design-space sensitivity (width / window / ports).
+
+Not a paper figure — these sweeps extend §5.6's "wider opportunity on
+bigger machines" argument across three provisioning axes.
+"""
+
+from repro.analysis import (
+    sensitivity_dcache_ports,
+    sensitivity_issue_width,
+    sensitivity_window_size,
+)
+
+
+def test_bench_sensitivity_issue_width(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: sensitivity_issue_width(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # wider machines are idler per slot: saving grows with width
+    assert m["saving_16"] > m["saving_8"] > m["saving_4"]
+
+
+def test_bench_sensitivity_window(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: sensitivity_window_size(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # bigger windows expose more ILP: IPC up, gateable fraction down
+    assert m["ipc_512"] >= m["ipc_32"]
+    assert m["saving_32"] >= m["saving_512"]
+
+
+def test_bench_sensitivity_dcache_ports(benchmark, runner, save_result):
+    result = benchmark.pedantic(lambda: sensitivity_dcache_ports(runner),
+                                rounds=1, iterations=1)
+    save_result(result)
+    print()
+    print(result.render())
+    m = result.measured
+    # extra ports sit idle: per-family dcache saving grows with ports
+    assert m["dcache_saving_4"] > m["dcache_saving_2"] > m["dcache_saving_1"]

@@ -1,0 +1,40 @@
+"""Table 1: baseline configuration, and the per-structure power budget.
+
+Verifies the instantiated machine matches the paper's Table 1 and
+benchmarks the raw simulation rate of the baseline configuration.
+"""
+
+import pytest
+
+from repro.power import BlockPowers
+from repro.sim import Simulator, baseline_config
+from repro.trace import FUClass
+
+
+def test_bench_table1_configuration(benchmark, out_dir):
+    config = baseline_config()
+    # Table 1 checks
+    assert config.issue_width == 8
+    assert config.window_size == 128
+    assert config.lsq_size == 64
+    assert config.fu_counts == {
+        FUClass.INT_ALU: 6, FUClass.INT_MULT: 2,
+        FUClass.FP_ALU: 4, FUClass.FP_MULT: 4, FUClass.MEM_PORT: 2}
+    assert config.hierarchy.l1d.size_bytes == 64 * 1024
+    assert config.hierarchy.l2.size_bytes == 2 * 1024 * 1024
+    assert config.hierarchy.memory_latency == 100
+    assert config.bpred_l1_entries == 8192
+    assert config.btb_entries == 8192 and config.btb_assoc == 4
+    assert config.ras_depth == 32
+
+    blocks = BlockPowers(config)
+    lines = ["Table 1 machine, per-structure power budget:"]
+    for name, watts in blocks.breakdown().items():
+        lines.append(f"  {name:18s} {watts:6.2f} W  ({watts/blocks.total:5.1%})")
+    (out_dir / "table1.txt").write_text("\n".join(lines) + "\n")
+
+    sim = Simulator(config)
+    result = benchmark.pedantic(
+        lambda: sim.run_benchmark("gzip", "base", instructions=4000),
+        rounds=1, iterations=1)
+    assert result.instructions == 4000

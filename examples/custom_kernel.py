@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Execute-driven simulation: your own assembly through the full stack.
+
+Assembles a histogram kernel written in the reproduction ISA, checks
+its architectural result with the functional simulator, then replays
+its trace through the out-of-order pipeline under the base and DCG
+policies.  Integer-only code like this shows DCG's sharpest win: the
+idle FP units are clock-gated every single cycle.
+
+Usage::
+
+    python examples/custom_kernel.py
+"""
+
+from repro import Simulator
+from repro.isa import assemble, run_program, trace_program
+
+HISTOGRAM = """
+# count values 0..7 from `data` into 8 bins at `bins`
+.data
+data:   .word 3, 1, 4, 1, 5, 2, 6, 5, 3, 5, 0, 7, 1, 3, 2, 6
+        .word 4, 4, 2, 7, 0, 1, 6, 3, 5, 2, 4, 7, 1, 0, 3, 5
+bins:   .space 64
+.text
+main:   li   r1, 0            # index
+        li   r2, 32           # element count
+loop:   slli r3, r1, 3
+        ld   r4, data(r3)     # value
+        slli r5, r4, 3
+        ld   r6, bins(r5)     # current count
+        addi r6, r6, 1
+        st   r6, bins(r5)     # increment bin
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(HISTOGRAM)
+    print("assembled listing (first 12 lines):")
+    for line in program.listing().splitlines()[:12]:
+        print(f"  {line}")
+
+    # 1. functional execution: check the architectural answer
+    functional = run_program(program)
+    bins_base = program.labels["bins"]
+    counts = [functional.memory.get(bins_base + 8 * i, 0) for i in range(8)]
+    print(f"\nhistogram bins: {counts}  "
+          f"(total {sum(counts)} elements, {functional.retired} insts)")
+
+    # 2. timing + power: replay the same trace through the pipeline
+    sim = Simulator()
+    base = sim.run_trace(trace_program(program), "base", name="histogram")
+    dcg = sim.run_trace(trace_program(program), "dcg", name="histogram")
+    print(f"\nbase: {base.cycles} cycles, IPC {base.ipc:.2f}")
+    print(f"DCG:  {dcg.cycles} cycles, IPC {dcg.ipc:.2f} "
+          f"-> {dcg.total_saving:.1%} of total power saved, "
+          f"0 cycles lost")
+    print(f"FP units gated {dcg.family_savings['fp_units']:.1%} of the time "
+          "(integer-only kernel: the paper's Fig 13 effect)")
+
+    # 3. pipetrace: watch one loop iteration move through the stages
+    from repro.pipeline import MachineConfig, Pipeline, render_pipetrace
+    from repro.core import NoGatingPolicy
+    from repro.trace import TraceStream
+
+    pipe = Pipeline(MachineConfig(), TraceStream(trace_program(program)),
+                    NoGatingPolicy())
+    pipe.capture_ops(12)
+    pipe.run()
+    print("\npipetrace of the first 12 micro-ops:")
+    print(render_pipetrace(pipe.captured_ops, max_cycles=80))
+
+
+if __name__ == "__main__":
+    main()

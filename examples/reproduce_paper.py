@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure in the paper's evaluation.
+
+Runs the full experiment grid (18 SPEC2000-like benchmarks x
+{base, DCG, PLB-orig, PLB-ext} x {8-stage, 20-stage, ALU sweep}) and
+prints each reproduced table with the paper's numbers alongside.
+
+The per-benchmark instruction budget defaults to 8 000 and can be
+raised for higher fidelity::
+
+    REPRO_SIM_INSTRUCTIONS=50000 python examples/reproduce_paper.py
+
+Expect a few minutes of wall-clock time at the default budget.
+"""
+
+import time
+
+from repro import ExperimentRunner, run_all_experiments
+from repro.analysis.charts import figure_chart
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    print(f"instruction budget per run: {runner.instructions}")
+    start = time.time()
+    for result in run_all_experiments(runner):
+        print()
+        print(result.render())
+        if result.figure_id in ("fig12", "fig13", "fig14", "fig15", "fig16"):
+            print()
+            print(figure_chart(result))
+        print("-" * 72)
+    print(f"\ntotal wall-clock: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

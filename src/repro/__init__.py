@@ -1,0 +1,74 @@
+"""repro — Deterministic Clock Gating for Microprocessor Power Reduction.
+
+A full Python reproduction of Li, Bhunia, Chen, Vijaykumar & Roy,
+"Deterministic Clock Gating for Microprocessor Power Reduction"
+(HPCA 2003): a cycle-level out-of-order superscalar pipeline with
+Wattch-style power models, the DCG clock-gating methodology, the
+pipeline-balancing (PLB) baseline, SPEC2000-like synthetic workloads,
+and a harness that regenerates every table and figure in the paper's
+evaluation.
+
+Quick start::
+
+    from repro import Simulator
+
+    sim = Simulator()
+    base = sim.run_benchmark("gzip", "base", instructions=20000)
+    dcg = sim.run_benchmark("gzip", "dcg", instructions=20000)
+    print(f"power saved: {dcg.total_saving:.1%}, "
+          f"performance: {dcg.performance_relative(base):.1%}")
+"""
+
+from .analysis import ExperimentResult, run_all_experiments
+from .core import DCGPolicy, GatingPolicy, NoGatingPolicy, PLBPolicy
+from .pipeline import MachineConfig, Pipeline
+from .power import BlockPowers, PowerAccountant, PowerCalibration
+from .sim import (
+    ExperimentRunner,
+    SimulationResult,
+    Simulator,
+    baseline_config,
+    deep_pipeline_config,
+)
+from .trace import MicroOp, OpClass, TraceStream
+from .workloads import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    SPEC2000,
+    SyntheticTraceGenerator,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkProfile",
+    "BlockPowers",
+    "DCGPolicy",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FP_BENCHMARKS",
+    "GatingPolicy",
+    "INT_BENCHMARKS",
+    "MachineConfig",
+    "MicroOp",
+    "NoGatingPolicy",
+    "OpClass",
+    "PLBPolicy",
+    "Pipeline",
+    "PowerAccountant",
+    "PowerCalibration",
+    "SPEC2000",
+    "SimulationResult",
+    "Simulator",
+    "SyntheticTraceGenerator",
+    "TraceStream",
+    "baseline_config",
+    "deep_pipeline_config",
+    "get_profile",
+    "run_all_experiments",
+    "__version__",
+]

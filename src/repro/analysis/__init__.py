@@ -1,0 +1,60 @@
+"""Reproduction harness for every table and figure in the evaluation."""
+
+from .experiments import (
+    ExperimentResult,
+    fig10_total_power,
+    fig11_power_delay,
+    fig12_int_units,
+    fig13_fp_units,
+    fig14_latches,
+    fig15_dcache,
+    fig16_result_bus,
+    fig17_deep_pipeline,
+    run_all_experiments,
+    sec44_int_alu_sweep,
+)
+from .ablations import (
+    ablation_dcg_components,
+    ablation_fu_priority,
+    ablation_plb_window,
+    ablation_store_policy,
+)
+from .charts import bar_chart, figure_chart
+from .report import render_markdown_report, write_experiments_md
+from .sensitivity import (
+    sensitivity_dcache_ports,
+    sensitivity_issue_width,
+    sensitivity_window_size,
+)
+from .tables import format_table, pct
+from .variance import SeedVariance, render_variance_table, seed_variance_study
+
+__all__ = [
+    "SeedVariance",
+    "ablation_dcg_components",
+    "ablation_fu_priority",
+    "ablation_plb_window",
+    "ablation_store_policy",
+    "bar_chart",
+    "figure_chart",
+    "render_markdown_report",
+    "render_variance_table",
+    "seed_variance_study",
+    "sensitivity_dcache_ports",
+    "sensitivity_issue_width",
+    "sensitivity_window_size",
+    "write_experiments_md",
+    "ExperimentResult",
+    "fig10_total_power",
+    "fig11_power_delay",
+    "fig12_int_units",
+    "fig13_fp_units",
+    "fig14_latches",
+    "fig15_dcache",
+    "fig16_result_bus",
+    "fig17_deep_pipeline",
+    "format_table",
+    "pct",
+    "run_all_experiments",
+    "sec44_int_alu_sweep",
+]

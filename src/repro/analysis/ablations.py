@@ -1,0 +1,156 @@
+"""Ablation studies for the design choices the paper argues for.
+
+The paper motivates several mechanism-level decisions without plotting
+them; these harnesses quantify each one:
+
+* §3.1 — the **sequential-priority** FU allocation policy exists to
+  keep gate controls stable (fewer gate/ungate toggles, less control
+  power and di/dt noise) at no performance cost.
+* §3.3 — the **store-delay** variant (one extra cycle before a store's
+  cache access, when the LSQ gives no advance notice) should cost
+  "virtually no performance".
+* §5.2-§5.5 — DCG's saving comes from **all four block families**, not
+  any single one.
+* §4.3 — PLB's 256-cycle **window size** is a prediction-granularity
+  trade-off; smaller windows react faster but thrash, larger windows
+  miss phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.dcg import DCGPolicy
+from ..core.plb import PLBPolicy, PLBTriggerConfig
+from ..sim.runner import ExperimentRunner
+from .experiments import ExperimentResult, _mean
+from .tables import pct
+
+__all__ = [
+    "ablation_fu_priority",
+    "ablation_store_policy",
+    "ablation_dcg_components",
+    "ablation_plb_window",
+]
+
+#: a representative mix: 2 high-IPC INT, 1 miss-bound INT, 2 FP, 1 miss-bound FP
+DEFAULT_ABLATION_BENCHMARKS = ("gzip", "perlbmk", "mcf",
+                               "wupwise", "mgrid", "lucas")
+
+
+def ablation_fu_priority(runner: ExperimentRunner,
+                         benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS
+                         ) -> ExperimentResult:
+    """Sequential-priority vs round-robin unit binding under DCG."""
+    result = ExperimentResult(
+        "ablation-fu-priority",
+        "FU binding policy: gate-control toggles per kilo-cycle",
+        ["benchmark", "seq toggles/kcyc", "rr toggles/kcyc",
+         "seq saving", "rr saving"])
+    seq_rates: List[float] = []
+    rr_rates: List[float] = []
+    for bench in benchmarks:
+        seq = runner.run(bench, "dcg")
+        rr = runner.run(bench, "dcg", tag="fu=round-robin")
+        seq_rate = 1000.0 * seq.fu_toggles / seq.cycles
+        rr_rate = 1000.0 * rr.fu_toggles / rr.cycles
+        seq_rates.append(seq_rate)
+        rr_rates.append(rr_rate)
+        result.rows.append([bench, f"{seq_rate:.0f}", f"{rr_rate:.0f}",
+                            pct(seq.total_saving), pct(rr.total_saving)])
+    result.measured["seq_toggles_per_kcycle"] = _mean(seq_rates)
+    result.measured["rr_toggles_per_kcycle"] = _mean(rr_rates)
+    return result
+
+
+def ablation_store_policy(runner: ExperimentRunner,
+                          benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS
+                          ) -> ExperimentResult:
+    """§3.3's two load/store-queue possibilities for store gating."""
+    result = ExperimentResult(
+        "ablation-store-policy",
+        "store gating: advance knowledge vs one-cycle delay",
+        ["benchmark", "advance cycles", "delayed cycles", "slowdown"])
+    slowdowns: List[float] = []
+    for bench in benchmarks:
+        advance = runner.run(bench, "dcg")
+        delayed = runner.run(bench, "dcg-delayed-store")
+        slow = delayed.cycles / advance.cycles - 1.0
+        slowdowns.append(slow)
+        result.rows.append([bench, advance.cycles, delayed.cycles, pct(slow)])
+    result.measured["mean_store_delay_slowdown"] = _mean(slowdowns)
+    result.paper["mean_store_delay_slowdown"] = 0.0   # "virtually no loss"
+    return result
+
+
+def ablation_dcg_components(runner: ExperimentRunner,
+                            benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS
+                            ) -> ExperimentResult:
+    """Total power saving with each DCG block family gated alone."""
+    variants: Dict[str, Dict[str, bool]] = {
+        "units-only": dict(gate_units=True, gate_latches=False,
+                           gate_dcache=False, gate_result_bus=False),
+        "latches-only": dict(gate_units=False, gate_latches=True,
+                             gate_dcache=False, gate_result_bus=False),
+        "dcache-only": dict(gate_units=False, gate_latches=False,
+                            gate_dcache=True, gate_result_bus=False),
+        "bus-only": dict(gate_units=False, gate_latches=False,
+                         gate_dcache=False, gate_result_bus=True),
+    }
+    result = ExperimentResult(
+        "ablation-dcg-components",
+        "DCG total saving, one block family at a time",
+        ["benchmark", "full"] + list(variants))
+    sums: Dict[str, List[float]] = {name: [] for name in variants}
+    fulls: List[float] = []
+    for bench in benchmarks:
+        full = runner.run(bench, "dcg").total_saving
+        fulls.append(full)
+        row = [bench, pct(full)]
+        for name, flags in variants.items():
+            saving = runner.run(
+                bench, f"dcg-{name}",
+                policy_factory=lambda flags=flags: DCGPolicy(**flags),
+            ).total_saving
+            sums[name].append(saving)
+            row.append(pct(saving))
+        result.rows.append(row)
+    result.measured["full"] = _mean(fulls)
+    for name, values in sums.items():
+        result.measured[name] = _mean(values)
+    return result
+
+
+def ablation_plb_window(runner: ExperimentRunner,
+                        windows: Sequence[int] = (64, 256, 1024),
+                        benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS
+                        ) -> ExperimentResult:
+    """PLB-ext sampling-window sweep around the paper's 256 cycles."""
+    result = ExperimentResult(
+        "ablation-plb-window",
+        "PLB-ext sampling window size",
+        ["benchmark"] + [f"save@{w}" for w in windows]
+        + [f"perf@{w}" for w in windows])
+    savings: Dict[int, List[float]] = {w: [] for w in windows}
+    perf: Dict[int, List[float]] = {w: [] for w in windows}
+    for bench in benchmarks:
+        base = runner.base(bench)
+        row: List[str] = [bench]
+        cells_perf: List[str] = []
+        for window in windows:
+            res = runner.run(
+                bench, f"plb-ext-w{window}",
+                policy_factory=lambda w=window: PLBPolicy(
+                    extended=True,
+                    triggers=PLBTriggerConfig(window_cycles=w)),
+            )
+            savings[window].append(res.total_saving)
+            rel = res.performance_relative(base)
+            perf[window].append(rel)
+            row.append(pct(res.total_saving))
+            cells_perf.append(pct(rel))
+        result.rows.append(row + cells_perf)
+    for window in windows:
+        result.measured[f"saving_w{window}"] = _mean(savings[window])
+        result.measured[f"perf_w{window}"] = _mean(perf[window])
+    return result

@@ -1,0 +1,96 @@
+"""Text bar charts for experiment results.
+
+The paper's figures are grouped bar charts (one group per benchmark,
+one bar per policy).  This renderer reproduces that layout in plain
+text so the reproduction can be *seen*, not just tabulated, in any
+terminal — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .experiments import ExperimentResult
+
+__all__ = ["bar_chart", "figure_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """Unicode bar of ``fraction`` (0..1) of ``width`` cells."""
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    whole = int(cells)
+    rest = cells - whole
+    bar = _FULL * whole
+    if rest > 0 and whole < width:
+        bar += _PART[int(rest * (len(_PART) - 1))]
+    return bar
+
+
+def bar_chart(labels: Sequence[str], series: Sequence[Sequence[float]],
+              series_names: Sequence[str], width: int = 40,
+              max_value: Optional[float] = None,
+              value_format: str = "{:6.1%}") -> str:
+    """Grouped horizontal bar chart.
+
+    Parameters
+    ----------
+    labels:
+        One label per group (benchmark names).
+    series:
+        One sequence of values per series; each must match ``labels``.
+    series_names:
+        Legend entries, one per series.
+    width:
+        Bar width in character cells at ``max_value``.
+    max_value:
+        Scale maximum; defaults to the largest value present.
+    """
+    if len(series) != len(series_names):
+        raise ValueError("series and series_names lengths differ")
+    for values in series:
+        if len(values) != len(labels):
+            raise ValueError("every series must match the label count")
+    if not labels:
+        return ""
+    top = max_value if max_value is not None else max(
+        max(values) for values in series) or 1.0
+    label_width = max(len(label) for label in labels)
+    name_width = max(len(name) for name in series_names)
+    lines: List[str] = []
+    for i, label in enumerate(labels):
+        for j, name in enumerate(series_names):
+            value = series[j][i]
+            prefix = label.ljust(label_width) if j == 0 else " " * label_width
+            lines.append(f"{prefix}  {name.ljust(name_width)} "
+                         f"{_bar(value / top, width).ljust(width)} "
+                         f"{value_format.format(value)}")
+        lines.append("")
+    return "\n".join(lines[:-1])
+
+
+def figure_chart(result: ExperimentResult, width: int = 36) -> str:
+    """Render a per-benchmark ExperimentResult as a grouped bar chart.
+
+    Works for the component figures whose rows are
+    ``[benchmark, suite, <policy columns...>]`` with percent-string
+    cells; raises for result shapes that are not per-benchmark tables.
+    """
+    if len(result.headers) < 3:
+        raise ValueError(f"{result.figure_id} is not a chartable table")
+    policy_names = list(result.headers[2:])
+    labels: List[str] = []
+    series: List[List[float]] = [[] for _ in policy_names]
+    for row in result.rows:
+        labels.append(str(row[0]))
+        for j, cell in enumerate(row[2:]):
+            if not isinstance(cell, str) or not cell.endswith("%"):
+                raise ValueError(
+                    f"{result.figure_id} row cell {cell!r} is not a percent")
+            series[j].append(float(cell.rstrip("%")) / 100.0)
+    title = f"{result.figure_id}: {result.title}"
+    chart = bar_chart(labels, series, policy_names, width=width)
+    return f"{title}\n\n{chart}"

@@ -1,0 +1,300 @@
+"""Per-figure reproduction harnesses.
+
+One function per table/figure in the paper's evaluation (§4.4, §5).
+Each returns an :class:`ExperimentResult` carrying per-benchmark rows,
+the summary metrics the paper quotes, and the paper's own numbers for
+side-by-side comparison.  The ``benchmarks/`` directory wires these
+into pytest-benchmark targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.runner import ExperimentRunner
+from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
+from .tables import format_table, pct
+
+__all__ = [
+    "ExperimentResult",
+    "fig10_total_power",
+    "fig11_power_delay",
+    "fig12_int_units",
+    "fig13_fp_units",
+    "fig14_latches",
+    "fig15_dcache",
+    "fig16_result_bus",
+    "fig17_deep_pipeline",
+    "sec44_int_alu_sweep",
+    "run_all_experiments",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Reproduced data for one table/figure."""
+
+    figure_id: str
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    #: summary metrics (fractions), e.g. {"dcg_int": 0.21}
+    measured: Dict[str, float] = field(default_factory=dict)
+    #: the paper's reported values for the same metric names
+    paper: Dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def _fmt(name: str, value: float) -> str:
+        """Savings/losses are fractions; IPC-like metrics are plain."""
+        if name.startswith("ipc") or "_ipc" in name:
+            return f"{value:.2f}"
+        return pct(value)
+
+    def render(self) -> str:
+        """Formatted table plus measured-vs-paper summary."""
+        parts = [format_table(self.headers, self.rows,
+                              title=f"{self.figure_id}: {self.title}")]
+        if self.measured:
+            parts.append("")
+            parts.append("summary (measured vs paper):")
+            for name, value in self.measured.items():
+                expected = self.paper.get(name)
+                suffix = (f"  (paper: {self._fmt(name, expected)})"
+                          if expected is not None else "")
+                parts.append(f"  {name:24s} {self._fmt(name, value)}{suffix}")
+        return "\n".join(parts)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _suite_means(per_bench: Dict[str, float]) -> Dict[str, float]:
+    return {
+        "int": _mean([per_bench[b] for b in INT_BENCHMARKS]),
+        "fp": _mean([per_bench[b] for b in FP_BENCHMARKS]),
+        "all": _mean([per_bench[b] for b in ALL_BENCHMARKS]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: total power savings
+# ---------------------------------------------------------------------------
+
+def fig10_total_power(runner: ExperimentRunner) -> ExperimentResult:
+    """Total processor power saved by DCG, PLB-orig, PLB-ext."""
+    result = ExperimentResult(
+        "fig10", "total power savings (% of total processor power)",
+        ["benchmark", "suite", "DCG", "PLB-orig", "PLB-ext"],
+        paper={
+            "dcg_int": 0.209, "dcg_fp": 0.188, "dcg_all": 0.199,
+            "plb_orig_int": 0.063, "plb_orig_fp": 0.049,
+            "plb_ext_int": 0.110, "plb_ext_fp": 0.087,
+        })
+    savings: Dict[str, Dict[str, float]] = {"dcg": {}, "plb-orig": {}, "plb-ext": {}}
+    for bench in ALL_BENCHMARKS:
+        suite = "int" if bench in INT_BENCHMARKS else "fp"
+        row = [bench, suite]
+        for policy in ("dcg", "plb-orig", "plb-ext"):
+            saving = runner.run(bench, policy).total_saving
+            savings[policy][bench] = saving
+            row.append(pct(saving))
+        result.rows.append(row)
+    for policy, key in (("dcg", "dcg"), ("plb-orig", "plb_orig"),
+                        ("plb-ext", "plb_ext")):
+        means = _suite_means(savings[policy])
+        result.measured[f"{key}_int"] = means["int"]
+        result.measured[f"{key}_fp"] = means["fp"]
+        if policy == "dcg":
+            result.measured["dcg_all"] = means["all"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: power-delay savings (and PLB's performance loss)
+# ---------------------------------------------------------------------------
+
+def fig11_power_delay(runner: ExperimentRunner) -> ExperimentResult:
+    """Power-delay savings; DCG's equals its power saving because it
+    loses no performance, PLB's shrinks by its slowdown."""
+    result = ExperimentResult(
+        "fig11", "power-delay savings (% of base power-delay)",
+        ["benchmark", "suite", "DCG", "PLB-orig", "PLB-ext", "PLB perf"],
+        paper={
+            "plb_orig_pd_int": 0.035, "plb_orig_pd_fp": 0.020,
+            "plb_ext_pd_int": 0.083, "plb_ext_pd_fp": 0.059,
+            "plb_perf_loss": 0.029, "dcg_perf_loss": 0.0,
+        })
+    pd: Dict[str, Dict[str, float]] = {"dcg": {}, "plb-orig": {}, "plb-ext": {}}
+    perf_losses: List[float] = []
+    dcg_losses: List[float] = []
+    for bench in ALL_BENCHMARKS:
+        suite = "int" if bench in INT_BENCHMARKS else "fp"
+        base = runner.base(bench)
+        row = [bench, suite]
+        for policy in ("dcg", "plb-orig", "plb-ext"):
+            res = runner.run(bench, policy)
+            pd[policy][bench] = res.power_delay_saving(base)
+            row.append(pct(pd[policy][bench]))
+        plb = runner.run(bench, "plb-ext")
+        perf = plb.performance_relative(base)
+        perf_losses.append(1.0 - perf)
+        dcg_losses.append(1.0 - runner.dcg(bench).performance_relative(base))
+        row.append(pct(perf))
+        result.rows.append(row)
+    for policy, key in (("dcg", "dcg"), ("plb-orig", "plb_orig"),
+                        ("plb-ext", "plb_ext")):
+        means = _suite_means(pd[policy])
+        result.measured[f"{key}_pd_int"] = means["int"]
+        result.measured[f"{key}_pd_fp"] = means["fp"]
+    result.measured["plb_perf_loss"] = _mean(perf_losses)
+    result.measured["dcg_perf_loss"] = _mean(dcg_losses)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 12-16: per-component savings
+# ---------------------------------------------------------------------------
+
+def _component_figure(runner: ExperimentRunner, figure_id: str, title: str,
+                      family: str, paper: Dict[str, float],
+                      benchmarks: Sequence[str] = ALL_BENCHMARKS
+                      ) -> ExperimentResult:
+    result = ExperimentResult(
+        figure_id, title,
+        ["benchmark", "suite", "DCG", "PLB-ext"], paper=paper)
+    dcg_vals: Dict[str, float] = {}
+    plb_vals: Dict[str, float] = {}
+    for bench in benchmarks:
+        suite = "int" if bench in INT_BENCHMARKS else "fp"
+        dcg_vals[bench] = runner.dcg(bench).family_savings[family]
+        plb_vals[bench] = runner.plb_ext(bench).family_savings[family]
+        result.rows.append([bench, suite, pct(dcg_vals[bench]),
+                            pct(plb_vals[bench])])
+    dcg_means = _suite_means(dcg_vals)
+    plb_means = _suite_means(plb_vals)
+    result.measured[f"dcg_{family}_int"] = dcg_means["int"]
+    result.measured[f"dcg_{family}_fp"] = dcg_means["fp"]
+    result.measured[f"dcg_{family}_all"] = dcg_means["all"]
+    result.measured[f"plb_ext_{family}_int"] = plb_means["int"]
+    result.measured[f"plb_ext_{family}_fp"] = plb_means["fp"]
+    result.measured[f"plb_ext_{family}_all"] = plb_means["all"]
+    return result
+
+
+def fig12_int_units(runner: ExperimentRunner) -> ExperimentResult:
+    """Integer execution-unit power savings (paper: DCG ~72 % average,
+    PLB-ext ~29.6 %)."""
+    return _component_figure(
+        runner, "fig12", "integer execution-unit power savings",
+        "int_units",
+        paper={"dcg_int_units_all": 0.72, "plb_ext_int_units_all": 0.296})
+
+
+def fig13_fp_units(runner: ExperimentRunner) -> ExperimentResult:
+    """FP execution-unit power savings (paper: DCG 77.2 % on FP
+    programs and ~100 % on integer programs; PLB-ext 23.0 % on FP)."""
+    return _component_figure(
+        runner, "fig13", "FP execution-unit power savings",
+        "fp_units",
+        paper={"dcg_fp_units_fp": 0.772, "dcg_fp_units_int": 0.98,
+               "plb_ext_fp_units_fp": 0.230})
+
+
+def fig14_latches(runner: ExperimentRunner) -> ExperimentResult:
+    """Pipeline-latch power savings, including DCG's control-latch
+    overhead (paper: DCG 41.6 %, PLB-ext 17.6 %)."""
+    return _component_figure(
+        runner, "fig14", "pipeline latch power savings",
+        "latches",
+        paper={"dcg_latches_all": 0.416, "plb_ext_latches_all": 0.176})
+
+
+def fig15_dcache(runner: ExperimentRunner) -> ExperimentResult:
+    """D-cache power savings from gating wordline decoders (paper:
+    DCG 22.6 %, PLB-ext 8.1 %)."""
+    return _component_figure(
+        runner, "fig15", "D-cache power savings",
+        "dcache",
+        paper={"dcg_dcache_all": 0.226, "plb_ext_dcache_all": 0.081})
+
+
+def fig16_result_bus(runner: ExperimentRunner) -> ExperimentResult:
+    """Result-bus driver power savings (paper: DCG 59.6 %,
+    PLB-ext 32.2 %)."""
+    return _component_figure(
+        runner, "fig16", "result bus power savings",
+        "result_bus",
+        paper={"dcg_result_bus_all": 0.596, "plb_ext_result_bus_all": 0.322})
+
+
+# ---------------------------------------------------------------------------
+# Figure 17: deeper pipeline
+# ---------------------------------------------------------------------------
+
+def fig17_deep_pipeline(runner: ExperimentRunner) -> ExperimentResult:
+    """DCG savings on the 8-stage vs the 20-stage machine (paper:
+    19.9 % vs 24.5 % — deeper pipelines save more)."""
+    result = ExperimentResult(
+        "fig17", "DCG savings: 8-stage vs 20-stage pipeline",
+        ["benchmark", "suite", "8-stage", "20-stage"],
+        paper={"dcg_8stage": 0.199, "dcg_20stage": 0.245})
+    shallow: Dict[str, float] = {}
+    deep: Dict[str, float] = {}
+    for bench in ALL_BENCHMARKS:
+        suite = "int" if bench in INT_BENCHMARKS else "fp"
+        shallow[bench] = runner.dcg(bench).total_saving
+        deep[bench] = runner.dcg(bench, tag="deep").total_saving
+        result.rows.append([bench, suite, pct(shallow[bench]),
+                            pct(deep[bench])])
+    result.measured["dcg_8stage"] = _suite_means(shallow)["all"]
+    result.measured["dcg_20stage"] = _suite_means(deep)["all"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# §4.4: optimal number of integer ALUs
+# ---------------------------------------------------------------------------
+
+def sec44_int_alu_sweep(runner: ExperimentRunner) -> ExperimentResult:
+    """Relative performance with 8, 6, and 4 integer ALUs (paper:
+    worst-case 98.8 % with 6 units, 92.7 % with 4; 6 is the
+    power-performance sweet spot used in all experiments)."""
+    result = ExperimentResult(
+        "sec4.4", "relative performance vs number of integer ALUs",
+        ["benchmark", "suite", "8 ALUs", "6 ALUs", "4 ALUs"],
+        paper={"worst_rel_6": 0.988, "worst_rel_4": 0.927})
+    rel6: List[float] = []
+    rel4: List[float] = []
+    for bench in ALL_BENCHMARKS:
+        suite = "int" if bench in INT_BENCHMARKS else "fp"
+        c8 = runner.run(bench, "base", tag="int_alus=8").cycles
+        c6 = runner.run(bench, "base", tag="int_alus=6").cycles
+        c4 = runner.run(bench, "base", tag="int_alus=4").cycles
+        r6, r4 = c8 / c6, c8 / c4
+        rel6.append(r6)
+        rel4.append(r4)
+        result.rows.append([bench, suite, pct(1.0), pct(r6), pct(r4)])
+    result.measured["worst_rel_6"] = min(rel6)
+    result.measured["worst_rel_4"] = min(rel4)
+    result.measured["mean_rel_6"] = _mean(rel6)
+    result.measured["mean_rel_4"] = _mean(rel4)
+    return result
+
+
+def run_all_experiments(runner: Optional[ExperimentRunner] = None
+                        ) -> List[ExperimentResult]:
+    """Reproduce every table/figure; returns their results in paper order."""
+    runner = runner or ExperimentRunner()
+    return [
+        sec44_int_alu_sweep(runner),
+        fig10_total_power(runner),
+        fig11_power_delay(runner),
+        fig12_int_units(runner),
+        fig13_fp_units(runner),
+        fig14_latches(runner),
+        fig15_dcache(runner),
+        fig16_result_bus(runner),
+        fig17_deep_pipeline(runner),
+    ]

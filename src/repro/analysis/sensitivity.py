@@ -1,0 +1,95 @@
+"""Design-space sensitivity of DCG (beyond-paper extension).
+
+The paper evaluates one machine (plus the 20-stage variant).  These
+sweeps ask how DCG's advantage responds to the machine's provisioning:
+
+* **issue width** — wider machines are idler per slot, so DCG's
+  fractional saving grows with width (the same argument §5.6 makes for
+  depth);
+* **window size** — smaller windows expose less ILP, lowering
+  utilisation and raising the gateable fraction;
+* **D-cache ports** — more ports sit idle more often, raising the
+  decoder-gating opportunity of §3.3.
+
+Each sweep also reports IPC so the power/performance trade is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sim.runner import ExperimentRunner
+from .experiments import ExperimentResult, _mean
+from .tables import pct
+
+__all__ = [
+    "sensitivity_issue_width",
+    "sensitivity_window_size",
+    "sensitivity_dcache_ports",
+]
+
+_DEFAULT_BENCHMARKS = ("gzip", "perlbmk", "wupwise", "mgrid")
+
+
+def _sweep(runner: ExperimentRunner, figure_id: str, title: str,
+           tag_format: str, values: Sequence[int],
+           benchmarks: Sequence[str]) -> ExperimentResult:
+    result = ExperimentResult(
+        figure_id, title,
+        ["benchmark"]
+        + [f"save@{v}" for v in values]
+        + [f"IPC@{v}" for v in values])
+    savings: Dict[int, List[float]] = {v: [] for v in values}
+    ipcs: Dict[int, List[float]] = {v: [] for v in values}
+    for bench in benchmarks:
+        save_cells: List[str] = []
+        ipc_cells: List[str] = []
+        for value in values:
+            tag = tag_format.format(value)
+            dcg = runner.run(bench, "dcg", tag=tag)
+            savings[value].append(dcg.total_saving)
+            ipcs[value].append(dcg.ipc)
+            save_cells.append(pct(dcg.total_saving))
+            ipc_cells.append(f"{dcg.ipc:.2f}")
+        result.rows.append([bench] + save_cells + ipc_cells)
+    for value in values:
+        result.measured[f"saving_{value}"] = _mean(savings[value])
+        result.measured[f"ipc_{value}"] = _mean(ipcs[value])
+    return result
+
+
+def sensitivity_issue_width(runner: ExperimentRunner,
+                            widths: Sequence[int] = (4, 8, 16),
+                            benchmarks: Sequence[str] = _DEFAULT_BENCHMARKS
+                            ) -> ExperimentResult:
+    """DCG saving vs machine width (whole front/back end scaled)."""
+    return _sweep(runner, "sens-width",
+                  "DCG saving vs issue width", "width={}", widths,
+                  benchmarks)
+
+
+def sensitivity_window_size(runner: ExperimentRunner,
+                            sizes: Sequence[int] = (32, 128, 512),
+                            benchmarks: Sequence[str] = _DEFAULT_BENCHMARKS
+                            ) -> ExperimentResult:
+    """DCG saving vs instruction-window capacity."""
+    return _sweep(runner, "sens-window",
+                  "DCG saving vs window size", "window={}", sizes,
+                  benchmarks)
+
+
+def sensitivity_dcache_ports(runner: ExperimentRunner,
+                             ports: Sequence[int] = (1, 2, 4),
+                             benchmarks: Sequence[str] = _DEFAULT_BENCHMARKS
+                             ) -> ExperimentResult:
+    """D-cache decoder gating opportunity vs port count."""
+    result = _sweep(runner, "sens-ports",
+                    "DCG saving vs D-cache ports", "ports={}", ports,
+                    benchmarks)
+    # additionally expose the per-family dcache saving per port count
+    for value in ports:
+        dcache = _mean([
+            runner.run(bench, "dcg", tag=f"ports={value}")
+            .family_savings["dcache"] for bench in benchmarks])
+        result.measured[f"dcache_saving_{value}"] = dcache
+    return result

@@ -1,0 +1,41 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "pct"]
+
+Cell = Union[str, float, int]
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospaced table."""
+    str_rows: List[List[str]] = [
+        [cell if isinstance(cell, str) else
+         (f"{cell:.3f}" if isinstance(cell, float) else str(cell))
+         for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

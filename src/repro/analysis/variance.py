@@ -1,0 +1,87 @@
+"""Seed-variance study.
+
+The paper simulates 500 M instructions per benchmark; this reproduction
+runs far shorter synthetic traces.  The variance study quantifies the
+run-to-run spread that choice introduces: each benchmark is simulated
+under several generator seeds and the per-seed savings are summarised
+as mean ± standard deviation.  Small spreads justify the short-run
+methodology (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.simulator import Simulator
+from ..workloads.profiles import ALL_BENCHMARKS
+from .tables import format_table, pct
+
+__all__ = ["SeedVariance", "seed_variance_study"]
+
+
+@dataclass
+class SeedVariance:
+    """Per-benchmark spread of DCG's total saving across seeds."""
+
+    benchmark: str
+    savings: List[float]
+    ipcs: List[float]
+
+    @property
+    def mean_saving(self) -> float:
+        return sum(self.savings) / len(self.savings)
+
+    @property
+    def std_saving(self) -> float:
+        if len(self.savings) < 2:
+            return 0.0
+        mean = self.mean_saving
+        var = sum((s - mean) ** 2 for s in self.savings) / (len(self.savings) - 1)
+        return math.sqrt(var)
+
+    @property
+    def mean_ipc(self) -> float:
+        return sum(self.ipcs) / len(self.ipcs)
+
+    @property
+    def relative_spread(self) -> float:
+        """Std of the saving as a fraction of its mean."""
+        mean = self.mean_saving
+        return self.std_saving / mean if mean else 0.0
+
+
+def seed_variance_study(benchmarks: Sequence[str] = ("gzip", "mcf", "swim"),
+                        seeds: Sequence[int] = (1, 2, 3, 4, 5),
+                        instructions: int = 4_000,
+                        policy: str = "dcg",
+                        simulator: Optional[Simulator] = None
+                        ) -> Dict[str, SeedVariance]:
+    """Run ``policy`` on each benchmark under each seed."""
+    sim = simulator or Simulator()
+    out: Dict[str, SeedVariance] = {}
+    for bench in benchmarks:
+        if bench not in ALL_BENCHMARKS:
+            raise KeyError(f"unknown benchmark {bench!r}")
+        savings: List[float] = []
+        ipcs: List[float] = []
+        for seed in seeds:
+            result = sim.run_benchmark(bench, policy,
+                                       instructions=instructions, seed=seed)
+            savings.append(result.total_saving)
+            ipcs.append(result.ipc)
+        out[bench] = SeedVariance(bench, savings, ipcs)
+    return out
+
+
+def render_variance_table(study: Dict[str, SeedVariance]) -> str:
+    """Formatted table of the study results."""
+    rows = []
+    for bench, var in study.items():
+        rows.append([bench, len(var.savings), pct(var.mean_saving),
+                     pct(var.std_saving, digits=2),
+                     f"{var.mean_ipc:.2f}"])
+    return format_table(
+        ["benchmark", "seeds", "mean saving", "std", "mean IPC"], rows,
+        title="DCG total-saving spread across generator seeds")

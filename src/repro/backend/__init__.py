@@ -1,0 +1,19 @@
+"""Back-end components: functional units."""
+
+from .funits import (
+    AllocationPolicy,
+    DEFAULT_FU_COUNTS,
+    FU_LATENCY,
+    FUInstance,
+    FUPool,
+    FUSpec,
+)
+
+__all__ = [
+    "AllocationPolicy",
+    "DEFAULT_FU_COUNTS",
+    "FU_LATENCY",
+    "FUInstance",
+    "FUPool",
+    "FUSpec",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface (``python -m repro``).
+
+Subcommands
+-----------
+``run``      simulate one benchmark under one policy and print a summary
+``compare``  run every policy on one benchmark, side by side
+``figure``   regenerate one of the paper's tables/figures
+``report``   regenerate every experiment and write EXPERIMENTS.md
+``budget``   print the per-structure power budget of a configuration
+``bench``    list the available benchmark profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import (
+    fig10_total_power,
+    fig11_power_delay,
+    fig12_int_units,
+    fig13_fp_units,
+    fig14_latches,
+    fig15_dcache,
+    fig16_result_bus,
+    fig17_deep_pipeline,
+    sec44_int_alu_sweep,
+)
+from .analysis.report import write_experiments_md
+from .power import BlockPowers
+from .sim import ExperimentRunner, Simulator, baseline_config, deep_pipeline_config
+from .workloads import ALL_BENCHMARKS, SPEC2000
+
+_FIGURES = {
+    "table1": None,
+    "sec4.4": sec44_int_alu_sweep,
+    "fig10": fig10_total_power,
+    "fig11": fig11_power_delay,
+    "fig12": fig12_int_units,
+    "fig13": fig13_fp_units,
+    "fig14": fig14_latches,
+    "fig15": fig15_dcache,
+    "fig16": fig16_result_bus,
+    "fig17": fig17_deep_pipeline,
+}
+
+_POLICIES = ("base", "dcg", "dcg-delayed-store", "dcg+iq",
+              "plb-orig", "plb-ext")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic Clock Gating (HPCA 2003) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    run.add_argument("--policy", choices=_POLICIES, default="dcg")
+    run.add_argument("--instructions", type=int, default=10_000)
+    run.add_argument("--deep", action="store_true",
+                     help="use the 20-stage machine")
+
+    compare = sub.add_parser("compare", help="all policies on one benchmark")
+    compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    compare.add_argument("--instructions", type=int, default=10_000)
+
+    figure = sub.add_parser("figure", help="regenerate a table/figure")
+    figure.add_argument("id", choices=sorted(k for k, v in _FIGURES.items()
+                                             if v is not None))
+    figure.add_argument("--instructions", type=int, default=None)
+
+    report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--instructions", type=int, default=None)
+
+    budget = sub.add_parser("budget", help="print the power budget")
+    budget.add_argument("--deep", action="store_true")
+
+    sub.add_parser("bench", help="list benchmark profiles")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = deep_pipeline_config() if args.deep else baseline_config()
+    sim = Simulator(config)
+    base = sim.run_benchmark(args.benchmark, "base",
+                             instructions=args.instructions)
+    result = sim.run_benchmark(args.benchmark, args.policy,
+                               instructions=args.instructions)
+    print(f"{args.benchmark} under {args.policy}: "
+          f"{result.cycles} cycles, IPC {result.ipc:.2f}")
+    print(f"power: {result.average_power:.2f} W of "
+          f"{result.base_power:.2f} W base "
+          f"({result.total_saving:.1%} saved)")
+    print(f"performance vs base: {result.performance_relative(base):.1%}")
+    for family, saving in sorted(result.family_savings.items()):
+        print(f"  {family:12s} {saving:6.1%}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    sim = Simulator()
+    base = sim.run_benchmark(args.benchmark, "base",
+                             instructions=args.instructions)
+    print(f"{'policy':18s} {'cycles':>8s} {'IPC':>6s} "
+          f"{'saved':>7s} {'perf':>7s}")
+    for policy in _POLICIES:
+        result = sim.run_benchmark(args.benchmark, policy,
+                                   instructions=args.instructions)
+        print(f"{policy:18s} {result.cycles:8d} {result.ipc:6.2f} "
+              f"{result.total_saving:7.1%} "
+              f"{result.performance_relative(base):7.1%}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(instructions=args.instructions)
+    result = _FIGURES[args.id](runner)
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(instructions=args.instructions)
+    print(f"running the full grid at {runner.instructions} "
+          "instructions per run...", file=sys.stderr)
+    write_experiments_md(args.output, runner)
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    config = deep_pipeline_config() if args.deep else baseline_config()
+    blocks = BlockPowers(config)
+    label = "20-stage" if args.deep else "8-stage"
+    print(f"{label} machine, {blocks.total:.1f} W total:")
+    for name, watts in sorted(blocks.breakdown().items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  {name:18s} {watts:6.2f} W  {watts / blocks.total:6.1%}")
+    return 0
+
+
+def _cmd_bench(_args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'suite':5s} {'branch':>7s} {'mem':>6s} "
+          f"{'cold':>6s} notes")
+    for name, profile in sorted(SPEC2000.items()):
+        from .trace.uop import MEM_OP_CLASSES
+        mem = sum(profile.mix.get(c, 0.0) for c in MEM_OP_CLASSES)
+        note = ("miss-bound" if profile.cold_fraction >= 0.4 else
+                "pointer-chasing" if profile.pointer_chase_fraction > 0.2
+                else "")
+        print(f"{name:10s} {profile.suite:5s} "
+              f"{profile.branch_fraction:7.1%} {mem:6.1%} "
+              f"{profile.cold_fraction:6.1%} {note}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "budget": _cmd_budget,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The paper's contribution: DCG, and the PLB baseline it is compared to."""
+
+from .dcg import DCGPolicy
+from .interface import (
+    CycleConstraints,
+    GateDecision,
+    GatingPolicy,
+    NoGatingPolicy,
+)
+from .plb import MODE_RESOURCES, PLBPolicy, PLBTriggerConfig
+
+__all__ = [
+    "CycleConstraints",
+    "DCGPolicy",
+    "GateDecision",
+    "GatingPolicy",
+    "MODE_RESOURCES",
+    "NoGatingPolicy",
+    "PLBPolicy",
+    "PLBTriggerConfig",
+]

@@ -1,0 +1,192 @@
+"""Deterministic Clock Gating (the paper's contribution).
+
+DCG exploits the fact that, in an out-of-order pipeline, a back-end
+block's use in a near-future cycle is *deterministically* known at the
+end of issue (and, for the rename latch, at the end of decode):
+
+* **Execution units** (§3.1): the selection logic's GRANT signals at
+  issue cycle ``X`` say exactly which unit instances execute from cycle
+  ``X + 2``; the signals ride down the pipe in a few extra latch bits
+  and AND with each unit's clock.  :class:`DCGPolicy` implements this
+  literally — a grant calendar is built *only* from issue-time
+  information, and (optionally, on by default) cross-checked against
+  the pipeline's actual per-unit activity every cycle, which must match
+  because the methodology is deterministic.
+* **Pipeline latches** (§3.2): a one-hot encoding of how many issue
+  slots filled at cycle ``X`` gates per-slot latches at the register
+  read / execute / memory stages at fixed delays; the rename latch is
+  gated from the decode-stage count; writeback latches from completion
+  counts (known at least a cycle ahead from execute).
+* **D-cache wordline decoders** (§3.3): the load/store issue one-hot,
+  delayed to the access cycle, gates unused ports.  Stores either have
+  advance knowledge from the load/store queue (``store_policy
+  ="advance"``) or are delayed one cycle to set up the gate control
+  (``"delayed"``) — the paper argues the delay costs virtually nothing
+  because stores produce no pipeline values.
+* **Result-bus drivers** (§3.4): execute-stage completion counts,
+  delayed to writeback, gate unused bus drivers.
+
+DCG imposes *no* other constraints: no prediction, no thresholds, no
+performance loss (the run's cycle count equals the base machine's,
+which a test asserts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..pipeline.config import MachineConfig
+from ..pipeline.usage import CycleUsage
+from ..trace.uop import FUClass
+from .interface import CycleConstraints, GateDecision, GatingPolicy
+
+__all__ = ["DCGPolicy"]
+
+_EXEC_CLASSES = (FUClass.INT_ALU, FUClass.INT_MULT,
+                 FUClass.FP_ALU, FUClass.FP_MULT)
+
+
+class DCGPolicy(GatingPolicy):
+    """Deterministic clock gating, all four block families.
+
+    Parameters
+    ----------
+    store_policy:
+        ``"advance"`` — the load/store queue exposes upcoming store
+        accesses one cycle early (§3.3 possibility 1, no delay);
+        ``"delayed"`` — stores wait one extra cycle before their cache
+        access so the gate control can be set up (possibility 2).
+    gate_units / gate_latches / gate_dcache / gate_result_bus:
+        Enable gating per block family (the component-contribution
+        ablation turns these off selectively).
+    gate_issue_queue:
+        **Extension** (off by default, as in the paper): §2.2.2 notes
+        that [6] already gates issue-queue entries that are
+        deterministically empty; this flag composes that technique with
+        DCG by gating the empty fraction of the instruction window each
+        cycle (occupancy is deterministically known).
+    verify:
+        Cross-check the grant-calendar prediction against the
+        pipeline's actual unit activity every cycle (deterministic
+        methodologies must never disagree; a mismatch raises).
+    """
+
+    name = "dcg"
+
+    def __init__(self, store_policy: str = "advance",
+                 gate_units: bool = True, gate_latches: bool = True,
+                 gate_dcache: bool = True, gate_result_bus: bool = True,
+                 gate_issue_queue: bool = False,
+                 verify: bool = True) -> None:
+        if store_policy not in ("advance", "delayed"):
+            raise ValueError("store_policy must be 'advance' or 'delayed'")
+        self.store_policy = store_policy
+        self.gate_units = gate_units
+        self.gate_latches = gate_latches
+        self.gate_dcache = gate_dcache
+        self.gate_result_bus = gate_result_bus
+        self.gate_issue_queue = gate_issue_queue
+        self.verify = verify
+        if gate_issue_queue:
+            self.name = "dcg+iq"
+        self._grant_calendar: Dict[int, Dict[FUClass, Set[int]]] = {}
+        self._prev_gated: Dict[FUClass, Set[int]] = {}
+        self.toggle_count = 0
+
+    def bind(self, config: MachineConfig) -> None:
+        super().bind(config)
+        self._issue_to_execute = config.depth.issue_to_execute
+        self._grant_calendar.clear()
+        self._prev_gated = {
+            cls: set(range(config.fu_counts.get(cls, 0)))
+            for cls in _EXEC_CLASSES}
+        self.toggle_count = 0
+
+    # -- constraints -----------------------------------------------------
+
+    def constraints(self, cycle: int) -> CycleConstraints:
+        cons = super().constraints(cycle)
+        if self.store_policy == "delayed":
+            cons.store_extra_delay = 1
+        return cons
+
+    # -- per-cycle gate decision --------------------------------------------
+
+    def observe(self, usage: CycleUsage) -> GateDecision:
+        cfg = self.config
+        cycle = usage.cycle
+        decision = GateDecision(control_always_on=True)
+
+        # record this cycle's GRANTs into the calendar: a grant at issue
+        # cycle X with occupancy L keeps its unit ungated over
+        # [X + issue_to_execute, X + issue_to_execute + L - 1]
+        start = cycle + self._issue_to_execute
+        for fu_class, index, latency in usage.grants:
+            for cc in range(start, start + latency):
+                slot = self._grant_calendar.setdefault(cc, {})
+                slot.setdefault(fu_class, set()).add(index)
+
+        # execution units: gate everything the delayed grants do not claim
+        predicted = self._grant_calendar.pop(cycle, {})
+        toggles = 0
+        if self.gate_units:
+            for fu_class in _EXEC_CLASSES:
+                count = cfg.fu_counts.get(fu_class, 0)
+                claimed = predicted.get(fu_class, set())
+                if self.verify:
+                    actual = {i for i, on in
+                              enumerate(usage.fu_active.get(fu_class, ()))
+                              if on}
+                    if actual != claimed:
+                        raise AssertionError(
+                            f"DCG determinism violated at cycle {cycle}: "
+                            f"{fu_class.name} grants predict {sorted(claimed)} "
+                            f"but units {sorted(actual)} are active")
+                gated = set(range(count)) - claimed
+                decision.fu_gated[fu_class] = len(gated)
+                flips = len(gated ^ self._prev_gated[fu_class])
+                if flips:
+                    decision.fu_toggles[fu_class] = flips
+                toggles += flips
+                self._prev_gated[fu_class] = gated
+            self.toggle_count += toggles
+
+        # pipeline latches: per gated stage, width*segments minus the
+        # slots the delayed one-hot encodings mark as occupied
+        if self.gate_latches:
+            depth = cfg.depth
+            width = cfg.issue_width
+            gated = 0
+            for stage, segments in (("rename", depth.rename),
+                                    ("regread", depth.regread),
+                                    ("execute", depth.execute),
+                                    ("mem", depth.mem),
+                                    ("writeback", depth.writeback)):
+                capacity = width * segments
+                used = usage.latch_slots.get(stage, 0)
+                if used > capacity:
+                    raise AssertionError(
+                        f"latch usage {used} exceeds capacity {capacity} "
+                        f"for stage {stage} at cycle {cycle}")
+                gated += capacity - used
+            decision.latch_gated_slots = gated
+
+        # D-cache wordline decoders: ports unused at the access cycle
+        if self.gate_dcache:
+            ports = cfg.dcache_ports
+            used = usage.dcache_ports_used
+            decision.dcache_ports_gated = max(0, ports - used)
+
+        # result-bus drivers: buses with no completing result
+        if self.gate_result_bus:
+            decision.result_buses_gated = max(
+                0, cfg.result_buses - usage.result_bus_used)
+
+        # extension: [6]-style deterministic issue-queue entry gating —
+        # empty window entries cannot wake or be selected, so their
+        # clock can be gated with no prediction involved
+        if self.gate_issue_queue:
+            empty = cfg.window_size - usage.window_occupancy
+            decision.issue_queue_gated_fraction = empty / cfg.window_size
+
+        return decision

@@ -1,0 +1,98 @@
+"""Gating-policy interface.
+
+A gating policy plugs into the timing pipeline at two points each cycle:
+
+* :meth:`GatingPolicy.constraints` — *before* the cycle executes, the
+  policy may restrict machine resources (PLB's low-power issue modes,
+  DCG's optional one-cycle store delay).  The baseline and DCG impose
+  no performance-relevant constraints.
+* :meth:`GatingPolicy.observe` — *after* the cycle, the policy receives
+  the cycle's :class:`~repro.pipeline.usage.CycleUsage` and returns a
+  :class:`GateDecision` stating which block-cycles were clock-gated.
+  The power accountant turns that into energy.
+
+The contract mirrors the paper's accounting (§4.2): a block that is not
+clock-gated in a cycle consumes its full per-cycle power; a gated block
+consumes none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..pipeline.config import MachineConfig
+from ..pipeline.usage import CycleUsage
+from ..trace.uop import FUClass
+
+__all__ = ["CycleConstraints", "GateDecision", "GatingPolicy"]
+
+
+@dataclass
+class CycleConstraints:
+    """Resource restrictions a policy imposes on one cycle."""
+
+    issue_width: int
+    rename_width: int
+    dcache_ports: int
+    result_buses: int
+    disabled_fus: Dict[FUClass, int] = field(default_factory=dict)
+    #: extra cycles a committing store waits before its cache access
+    #: (DCG §3.3 possibility (2): no advance knowledge of stores)
+    store_extra_delay: int = 0
+
+
+@dataclass
+class GateDecision:
+    """Block-cycles gated during one cycle, per block family.
+
+    Counts are in *blocks gated this cycle* (an execution unit, a latch
+    slot-stage, a D-cache port decoder, a result-bus driver).
+    ``issue_queue_gated_fraction`` is PLB's cluster-style issue-queue
+    gating; DCG leaves the issue queue alone (§2.2.2).
+    """
+
+    fu_gated: Dict[FUClass, int] = field(default_factory=dict)
+    latch_gated_slots: int = 0
+    dcache_ports_gated: int = 0
+    result_buses_gated: int = 0
+    issue_queue_gated_fraction: float = 0.0
+    #: DCG control circuitry (extended latches) stays clocked
+    control_always_on: bool = False
+    #: per-class count of execution units whose gate state flipped
+    fu_toggles: Dict[FUClass, int] = field(default_factory=dict)
+
+    @property
+    def fu_toggle_events(self) -> int:
+        """Total gate-state flips this cycle across unit classes."""
+        return sum(self.fu_toggles.values())
+
+
+class GatingPolicy:
+    """Base class for clock-gating methodologies."""
+
+    name = "base"
+
+    def bind(self, config: MachineConfig) -> None:
+        """Attach the machine configuration before simulation starts."""
+        self.config = config
+
+    def constraints(self, cycle: int) -> CycleConstraints:
+        """Resource limits for ``cycle`` (full machine by default)."""
+        cfg = self.config
+        return CycleConstraints(
+            issue_width=cfg.issue_width,
+            rename_width=cfg.decode_width,
+            dcache_ports=cfg.dcache_ports,
+            result_buses=cfg.result_buses,
+        )
+
+    def observe(self, usage: CycleUsage) -> GateDecision:
+        """Gate decision for the cycle just executed (none by default)."""
+        return GateDecision()
+
+
+class NoGatingPolicy(GatingPolicy):
+    """The paper's base case: no clock gating anywhere."""
+
+    name = "base"

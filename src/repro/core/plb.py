@@ -1,0 +1,237 @@
+"""Pipeline Balancing (PLB) — the paper's predictive baseline.
+
+PLB [Bahar & Manne, ISCA'01] samples instruction issue over fixed
+256-cycle windows and predicts the next window's ILP.  When predicted
+ILP is low, the machine drops from 8-wide issue to a 6-wide or 4-wide
+low-power mode and clock-gates the freed resources for the whole
+window.  The paper adapts PLB to its non-clustered 8-wide machine
+(§4.3); this module follows that adaptation:
+
+* modes: 8-wide (normal), 6-wide, 4-wide;
+* 6-wide disables 1 integer ALU, 1 FP ALU, 1 FP multiplier;
+* 4-wide disables half the issue slots, 3 integer ALUs, 1 integer
+  multiplier, 2 FP ALUs, 2 FP multipliers, and 1 memory port;
+* triggers: window issue IPC (primary), FP issue IPC and mode history
+  (secondary, to damp spurious transitions);
+* **PLB-orig** gates execution units + a mode-proportional fraction of
+  the issue queue (what [1] gated); **PLB-ext** additionally gates
+  pipeline latches, one D-cache port decoder (4-wide only), and 2 or 4
+  result buses — the same components DCG gates (§4.3).
+
+Because the prediction can be wrong, PLB loses performance when it
+under-provisions and loses opportunity when it over-provisions; that
+contrast with DCG is the paper's central result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..pipeline.config import MachineConfig
+from ..pipeline.usage import CycleUsage
+from ..trace.uop import FUClass
+from .interface import CycleConstraints, GateDecision, GatingPolicy
+
+__all__ = ["PLBPolicy", "PLBTriggerConfig", "MODE_RESOURCES"]
+
+
+@dataclass(frozen=True)
+class PLBTriggerConfig:
+    """Trigger thresholds (window issue-IPC boundaries).
+
+    A window whose issue IPC falls below ``ipc_4wide`` votes for the
+    4-wide mode; below ``ipc_6wide`` votes for 6-wide; otherwise
+    8-wide.  A window with FP issue IPC above ``fp_ipc_guard`` never
+    votes below 6-wide (the secondary trigger: FP work needs the FP
+    cluster).  Stepping *down* requires ``history_depth`` consecutive
+    agreeing votes (mode history); stepping up happens immediately, to
+    bound the performance loss.
+    """
+
+    window_cycles: int = 256
+    ipc_4wide: float = 2.4
+    ipc_6wide: float = 5.0
+    fp_ipc_guard: float = 0.8
+    history_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        if self.ipc_4wide >= self.ipc_6wide:
+            raise ValueError("ipc_4wide must be below ipc_6wide")
+        if self.history_depth < 1:
+            raise ValueError("history_depth must be >= 1")
+
+
+#: per-mode resource settings from §4.3
+MODE_RESOURCES: Dict[int, Dict[str, object]] = {
+    8: {
+        "disabled_fus": {},
+        "dcache_ports_disabled": 0,
+        "result_buses_disabled": 0,
+        "latch_fraction_gated": 0.0,
+        "iq_fraction_gated": 0.0,
+    },
+    6: {
+        "disabled_fus": {FUClass.INT_ALU: 1, FUClass.FP_ALU: 1,
+                         FUClass.FP_MULT: 1},
+        "dcache_ports_disabled": 0,
+        "result_buses_disabled": 2,
+        "latch_fraction_gated": 0.25,
+        "iq_fraction_gated": 0.25,
+    },
+    4: {
+        "disabled_fus": {FUClass.INT_ALU: 3, FUClass.INT_MULT: 1,
+                         FUClass.FP_ALU: 2, FUClass.FP_MULT: 2},
+        "dcache_ports_disabled": 1,
+        "result_buses_disabled": 4,
+        "latch_fraction_gated": 0.5,
+        "iq_fraction_gated": 0.5,
+    },
+}
+
+
+class PLBPolicy(GatingPolicy):
+    """Pipeline balancing, original or extended gating set.
+
+    Parameters
+    ----------
+    extended:
+        ``False`` — PLB-orig (gates execution units + issue queue);
+        ``True`` — PLB-ext (adds pipeline latches, D-cache decoder,
+        result buses).
+    triggers:
+        Threshold/hysteresis configuration.
+    """
+
+    def __init__(self, extended: bool = False,
+                 triggers: PLBTriggerConfig = PLBTriggerConfig()) -> None:
+        self.extended = extended
+        self.triggers = triggers
+        self.name = "plb-ext" if extended else "plb-orig"
+        self.mode = 8
+        self._window_issued = 0
+        self._window_fp_issued = 0
+        self._down_votes = 0
+        self._pending_mode = 8
+        self.mode_cycles: Dict[int, int] = {8: 0, 6: 0, 4: 0}
+        self.transitions = 0
+
+    def bind(self, config: MachineConfig) -> None:
+        super().bind(config)
+        self.mode = 8
+        self._window_issued = 0
+        self._window_fp_issued = 0
+        self._down_votes = 0
+        self.mode_cycles = {8: 0, 6: 0, 4: 0}
+        self.transitions = 0
+
+    # -- trigger FSM ----------------------------------------------------------
+
+    def _window_vote(self) -> int:
+        cycles = self.triggers.window_cycles
+        issue_ipc = self._window_issued / cycles
+        fp_ipc = self._window_fp_issued / cycles
+        if issue_ipc < self.triggers.ipc_4wide:
+            vote = 4
+        elif issue_ipc < self.triggers.ipc_6wide:
+            vote = 6
+        else:
+            vote = 8
+        if vote == 4 and fp_ipc >= self.triggers.fp_ipc_guard:
+            vote = 6  # secondary trigger: keep the FP cluster powered
+        return vote
+
+    def _update_mode(self) -> None:
+        vote = self._window_vote()
+        if vote >= self.mode:
+            # step up (or stay): immediate, bounding performance loss
+            if vote != self.mode:
+                self.transitions += 1
+            self.mode = vote
+            self._down_votes = 0
+            self._pending_mode = vote
+            return
+        if vote == self._pending_mode:
+            self._down_votes += 1
+        else:
+            self._pending_mode = vote
+            self._down_votes = 1
+        if self._down_votes >= self.triggers.history_depth:
+            self.mode = self._pending_mode
+            self._down_votes = 0
+            self.transitions += 1
+
+    # -- policy interface ------------------------------------------------------
+
+    def constraints(self, cycle: int) -> CycleConstraints:
+        if cycle > 0 and cycle % self.triggers.window_cycles == 0:
+            self._update_mode()
+            self._window_issued = 0
+            self._window_fp_issued = 0
+        cfg = self.config
+        resources = MODE_RESOURCES[self.mode]
+        cons = CycleConstraints(
+            issue_width=self.mode,
+            rename_width=self.mode,
+            dcache_ports=cfg.dcache_ports,
+            result_buses=cfg.result_buses,
+            disabled_fus=dict(resources["disabled_fus"]),
+        )
+        if self.extended:
+            cons.dcache_ports = (cfg.dcache_ports
+                                 - resources["dcache_ports_disabled"])
+            cons.result_buses = (cfg.result_buses
+                                 - resources["result_buses_disabled"])
+        return cons
+
+    def observe(self, usage: CycleUsage) -> GateDecision:
+        self._window_issued += usage.issued
+        self._window_fp_issued += usage.issued_fp
+        self.mode_cycles[self.mode] += 1
+
+        cfg = self.config
+        resources = MODE_RESOURCES[self.mode]
+        decision = GateDecision(
+            issue_queue_gated_fraction=resources["iq_fraction_gated"])
+
+        # execution units: a disabled instance is gated only once any
+        # in-flight work from before the mode switch has drained
+        for fu_class, disabled in resources["disabled_fus"].items():
+            mask = usage.fu_active.get(fu_class, ())
+            still_active = sum(1 for on in mask[len(mask) - disabled:] if on)
+            decision.fu_gated[fu_class] = disabled - still_active
+
+        if not self.extended:
+            return decision
+
+        # PLB-ext: latches, D-cache decoder port, result buses
+        depth = cfg.depth
+        width = cfg.issue_width
+        fraction = resources["latch_fraction_gated"]
+        gated_slots = 0
+        for stage, segments in (("rename", depth.rename),
+                                ("regread", depth.regread),
+                                ("execute", depth.execute),
+                                ("mem", depth.mem),
+                                ("writeback", depth.writeback),
+                                (None, depth.fetch + depth.decode + depth.issue)):
+            capacity = width * segments
+            target = int(capacity * fraction)
+            if stage is None:
+                # front-end latches: cluster gating simply disables the
+                # unused slot fraction (usage always fits the mode width)
+                gated_slots += target
+            else:
+                used = usage.latch_slots.get(stage, 0)
+                gated_slots += min(target, capacity - used)
+        decision.latch_gated_slots = gated_slots
+
+        ports_disabled = resources["dcache_ports_disabled"]
+        decision.dcache_ports_gated = min(
+            ports_disabled, cfg.dcache_ports - usage.dcache_ports_used)
+        buses_disabled = resources["result_buses_disabled"]
+        decision.result_buses_gated = min(
+            buses_disabled, cfg.result_buses - usage.result_bus_used)
+        return decision

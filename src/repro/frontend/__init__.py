@@ -1,0 +1,17 @@
+"""Front-end components: branch prediction."""
+
+from .branch_predictor import (
+    BranchPredictor,
+    BranchTargetBuffer,
+    PredictorStats,
+    ReturnAddressStack,
+    TwoLevelPredictor,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "PredictorStats",
+    "ReturnAddressStack",
+    "TwoLevelPredictor",
+]

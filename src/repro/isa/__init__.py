@@ -1,0 +1,51 @@
+"""Reproduction ISA: registers, opcodes, assembler, functional tracer."""
+
+from .assembler import AssemblerError, assemble
+from .functional import (
+    ExecutionError,
+    FunctionalSimulator,
+    run_program,
+    trace_program,
+)
+from .instruction import Instruction
+from .opcodes import OPCODES, OpSpec, lookup
+from .program import DATA_BASE, Program, TEXT_BASE, WORD_SIZE
+from .registers import (
+    LINK_REG,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    ZERO_REG,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    parse_register,
+    reg_name,
+)
+
+__all__ = [
+    "AssemblerError",
+    "DATA_BASE",
+    "ExecutionError",
+    "FunctionalSimulator",
+    "Instruction",
+    "LINK_REG",
+    "NUM_ARCH_REGS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "OPCODES",
+    "OpSpec",
+    "Program",
+    "TEXT_BASE",
+    "WORD_SIZE",
+    "ZERO_REG",
+    "assemble",
+    "fp_reg",
+    "int_reg",
+    "is_fp_reg",
+    "lookup",
+    "parse_register",
+    "reg_name",
+    "run_program",
+    "trace_program",
+]

@@ -1,0 +1,284 @@
+"""Two-pass text assembler for the reproduction ISA.
+
+Syntax
+------
+* One instruction or directive per line; ``#`` starts a comment.
+* Labels: ``name:`` (may share a line with an instruction).
+* Segments: ``.text`` (default) and ``.data``.
+* Data directives (only in ``.data``):
+
+  - ``.word v0, v1, ...``   — 64-bit integer words
+  - ``.double v0, v1, ...`` — floating-point words
+  - ``.space N``            — reserve N bytes (zero filled)
+
+Example
+-------
+::
+
+    .data
+    vec:    .word 1, 2, 3, 4
+    .text
+    main:   li   r1, 0          # accumulator
+            li   r2, 0          # index
+            li   r3, 4          # length
+    loop:   slli r4, r2, 3
+            ld   r5, vec(r4)    # label used as displacement
+            add  r1, r1, r5
+            addi r2, r2, 1
+            blt  r2, r3, loop
+            halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from .instruction import Instruction
+from .opcodes import OpSpec, lookup
+from .program import DATA_BASE, Program, TEXT_BASE, WORD_SIZE
+from .registers import is_fp_reg, parse_register
+
+__all__ = ["AssemblerError", "assemble"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):(.*)$")
+_MEM_RE = re.compile(r"^(-?[A-Za-z0-9_+]*)\((\w+)\)$")
+
+
+class AssemblerError(ValueError):
+    """Assembly failed; the message carries the line number and text."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line.strip()!r}")
+        self.lineno = lineno
+        self.reason = reason
+
+
+class _PendingInstruction:
+    """First-pass record: operands tokenised, labels unresolved."""
+
+    __slots__ = ("spec", "addr", "operands", "lineno", "line")
+
+    def __init__(self, spec: OpSpec, addr: int, operands: List[str],
+                 lineno: int, line: str) -> None:
+        self.spec = spec
+        self.addr = addr
+        self.operands = operands
+        self.lineno = lineno
+        self.line = line
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [tok.strip() for tok in rest.split(",")]
+
+
+def _parse_int(token: str) -> Optional[int]:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+class _Assembler:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.labels: Dict[str, int] = {}
+        self.pending: List[_PendingInstruction] = []
+        self.data: Dict[int, Union[int, float]] = {}
+        self.text_addr = TEXT_BASE
+        self.data_addr = DATA_BASE
+        self.segment = "text"
+
+    # -- pass 1 ------------------------------------------------------------
+
+    def first_pass(self) -> None:
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match is None:
+                    break
+                name = match.group(1)
+                if name in self.labels:
+                    raise AssemblerError(lineno, raw, f"duplicate label {name!r}")
+                self.labels[name] = (
+                    self.text_addr if self.segment == "text" else self.data_addr
+                )
+                line = match.group(2).strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, lineno, raw)
+                continue
+            if self.segment != "text":
+                raise AssemblerError(lineno, raw, "instruction outside .text")
+            parts = line.split(None, 1)
+            try:
+                spec = lookup(parts[0])
+            except KeyError as exc:
+                raise AssemblerError(lineno, raw, str(exc)) from None
+            operands = _split_operands(parts[1] if len(parts) > 1 else "")
+            self.pending.append(
+                _PendingInstruction(spec, self.text_addr, operands, lineno, raw)
+            )
+            self.text_addr += 4
+
+    def _directive(self, line: str, lineno: int, raw: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self.segment = "text"
+        elif name == ".data":
+            self.segment = "data"
+        elif name == ".word" or name == ".double":
+            if self.segment != "data":
+                raise AssemblerError(lineno, raw, f"{name} outside .data")
+            for tok in _split_operands(rest):
+                if name == ".word":
+                    value = _parse_int(tok)
+                    if value is None:
+                        raise AssemblerError(lineno, raw, f"bad integer {tok!r}")
+                    self.data[self.data_addr] = value
+                else:
+                    try:
+                        self.data[self.data_addr] = float(tok)
+                    except ValueError:
+                        raise AssemblerError(
+                            lineno, raw, f"bad float {tok!r}") from None
+                self.data_addr += WORD_SIZE
+        elif name == ".space":
+            if self.segment != "data":
+                raise AssemblerError(lineno, raw, ".space outside .data")
+            size = _parse_int(rest.strip())
+            if size is None or size < 0:
+                raise AssemblerError(lineno, raw, f"bad size {rest!r}")
+            self.data_addr += size
+        else:
+            raise AssemblerError(lineno, raw, f"unknown directive {name!r}")
+
+    # -- pass 2 ------------------------------------------------------------
+
+    def _reg(self, token: str, pend: _PendingInstruction, want_fp: bool) -> int:
+        reg = parse_register(token)
+        if reg is None:
+            raise AssemblerError(pend.lineno, pend.line,
+                                 f"expected register, got {token!r}")
+        if is_fp_reg(reg) != want_fp:
+            kind = "fp" if want_fp else "integer"
+            raise AssemblerError(pend.lineno, pend.line,
+                                 f"expected {kind} register, got {token!r}")
+        return reg
+
+    def _value(self, token: str, pend: _PendingInstruction) -> int:
+        """Immediate or label value."""
+        value = _parse_int(token)
+        if value is not None:
+            return value
+        if token in self.labels:
+            return self.labels[token]
+        raise AssemblerError(pend.lineno, pend.line,
+                             f"undefined symbol {token!r}")
+
+    def _mem_operand(self, token: str,
+                     pend: _PendingInstruction) -> Tuple[int, int]:
+        """Parse ``disp(base)``; returns (displacement, base register)."""
+        match = _MEM_RE.match(token.replace(" ", ""))
+        if match is None:
+            raise AssemblerError(pend.lineno, pend.line,
+                                 f"expected disp(base), got {token!r}")
+        disp_tok, base_tok = match.group(1), match.group(2)
+        disp = self._value(disp_tok, pend) if disp_tok else 0
+        base = self._reg(base_tok, pend, want_fp=False)
+        return disp, base
+
+    def _expect(self, pend: _PendingInstruction, count: int) -> None:
+        if len(pend.operands) != count:
+            raise AssemblerError(
+                pend.lineno, pend.line,
+                f"{pend.spec.mnemonic} expects {count} operand(s), "
+                f"got {len(pend.operands)}")
+
+    def second_pass(self) -> List[Instruction]:
+        out: List[Instruction] = []
+        for pend in self.pending:
+            spec, fmt, fp = pend.spec, pend.spec.fmt, pend.spec.fp_operands
+            if fmt == "R":
+                self._expect(pend, 3)
+                out.append(Instruction(
+                    spec, pend.addr,
+                    dest=self._reg(pend.operands[0], pend, fp),
+                    srcs=(self._reg(pend.operands[1], pend, fp),
+                          self._reg(pend.operands[2], pend, fp))))
+            elif fmt == "I":
+                self._expect(pend, 3)
+                out.append(Instruction(
+                    spec, pend.addr,
+                    dest=self._reg(pend.operands[0], pend, False),
+                    srcs=(self._reg(pend.operands[1], pend, False),),
+                    imm=self._value(pend.operands[2], pend)))
+            elif fmt == "LI":
+                self._expect(pend, 2)
+                out.append(Instruction(
+                    spec, pend.addr,
+                    dest=self._reg(pend.operands[0], pend, False),
+                    imm=self._value(pend.operands[1], pend)))
+            elif fmt == "LD":
+                self._expect(pend, 2)
+                disp, base = self._mem_operand(pend.operands[1], pend)
+                out.append(Instruction(
+                    spec, pend.addr,
+                    dest=self._reg(pend.operands[0], pend, fp),
+                    srcs=(base,), imm=disp))
+            elif fmt == "ST":
+                self._expect(pend, 2)
+                disp, base = self._mem_operand(pend.operands[1], pend)
+                out.append(Instruction(
+                    spec, pend.addr,
+                    srcs=(base, self._reg(pend.operands[0], pend, fp)),
+                    imm=disp))
+            elif fmt == "BR":
+                self._expect(pend, 3)
+                label = pend.operands[2]
+                out.append(Instruction(
+                    spec, pend.addr,
+                    srcs=(self._reg(pend.operands[0], pend, False),
+                          self._reg(pend.operands[1], pend, False)),
+                    target=self._value(label, pend),
+                    label=label if not label.lstrip("-").isdigit() else None))
+            elif fmt == "J":
+                self._expect(pend, 1)
+                label = pend.operands[0]
+                out.append(Instruction(
+                    spec, pend.addr,
+                    target=self._value(label, pend),
+                    label=label if not label.lstrip("-").isdigit() else None))
+            elif fmt == "JR":
+                self._expect(pend, 1)
+                out.append(Instruction(
+                    spec, pend.addr,
+                    srcs=(self._reg(pend.operands[0], pend, False),)))
+            elif fmt == "N":
+                self._expect(pend, 0)
+                out.append(Instruction(spec, pend.addr))
+            else:  # pragma: no cover - table is closed
+                raise AssemblerError(pend.lineno, pend.line,
+                                     f"unhandled format {fmt!r}")
+        return out
+
+
+def assemble(source: str, entry: str = "main") -> Program:
+    """Assemble ``source`` into a :class:`~repro.isa.program.Program`.
+
+    ``entry`` names the label execution starts at; when absent, execution
+    starts at the first instruction.
+    """
+    asm = _Assembler(source)
+    asm.first_pass()
+    instructions = asm.second_pass()
+    entry_addr = asm.labels.get(entry, TEXT_BASE)
+    return Program(instructions=instructions, data=asm.data,
+                   labels=asm.labels, entry=entry_addr)

@@ -1,0 +1,244 @@
+"""Functional execution of assembled programs.
+
+:class:`FunctionalSimulator` interprets a :class:`~repro.isa.program.Program`
+at architectural level and emits one :class:`~repro.trace.uop.MicroOp`
+per retired instruction.  The resulting trace carries actual branch
+outcomes and effective addresses, which is exactly what the trace-driven
+timing pipeline needs.
+
+This is the execute-driven path of the library (real small kernels);
+the synthetic path lives in :mod:`repro.workloads.synthetic`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..trace.uop import MicroOp
+from .instruction import Instruction
+from .program import Program, WORD_SIZE
+from .registers import LINK_REG, NUM_ARCH_REGS, ZERO_REG, is_fp_reg
+
+__all__ = ["ExecutionError", "FunctionalSimulator", "run_program", "trace_program"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap64(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's-complement semantics."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class ExecutionError(RuntimeError):
+    """Functional execution hit an architectural error (bad PC, div by
+    zero, runaway loop)."""
+
+
+class FunctionalSimulator:
+    """Architectural interpreter for the reproduction ISA.
+
+    Parameters
+    ----------
+    program:
+        Assembled program to run.
+    max_instructions:
+        Safety bound; exceeding it raises :class:`ExecutionError` so that
+        an accidentally non-terminating kernel cannot hang a test run.
+    """
+
+    def __init__(self, program: Program, max_instructions: int = 5_000_000) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.regs: List[Union[int, float]] = [0] * NUM_ARCH_REGS
+        self.memory: Dict[int, Union[int, float]] = dict(program.data)
+        self.pc = program.entry
+        self.retired = 0
+        self.halted = False
+
+    # -- architectural state helpers ---------------------------------------
+
+    def read_reg(self, name: int) -> Union[int, float]:
+        if name == ZERO_REG:
+            return 0
+        return self.regs[name]
+
+    def write_reg(self, name: int, value: Union[int, float]) -> None:
+        if name == ZERO_REG:
+            return
+        if not is_fp_reg(name):
+            value = _wrap64(int(value))
+        self.regs[name] = value
+
+    def read_mem(self, addr: int) -> Union[int, float]:
+        self._check_alignment(addr)
+        return self.memory.get(addr, 0)
+
+    def write_mem(self, addr: int, value: Union[int, float]) -> None:
+        self._check_alignment(addr)
+        self.memory[addr] = value
+
+    @staticmethod
+    def _check_alignment(addr: int) -> None:
+        if addr % WORD_SIZE != 0:
+            raise ExecutionError(f"unaligned memory access at {addr:#x}")
+        if addr < 0:
+            raise ExecutionError(f"negative memory address {addr:#x}")
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> Optional[MicroOp]:
+        """Execute one instruction; returns its micro-op, or ``None``
+        once the program has halted."""
+        if self.halted:
+            return None
+        if self.retired >= self.max_instructions:
+            raise ExecutionError(
+                f"exceeded max_instructions={self.max_instructions}")
+        inst = self.program.instruction_at(self.pc)
+        if inst is None:
+            raise ExecutionError(f"PC outside text segment: {self.pc:#x}")
+        uop = self._execute(inst)
+        self.retired += 1
+        return uop
+
+    def run(self) -> Iterator[MicroOp]:
+        """Iterate micro-ops until the program halts."""
+        while True:
+            uop = self.step()
+            if uop is None:
+                return
+            yield uop
+
+    # -- per-format execution ------------------------------------------------
+
+    def _execute(self, inst: Instruction) -> MicroOp:
+        spec = inst.spec
+        seq = self.retired
+        next_pc = self.pc + 4
+        taken = False
+        target: Optional[int] = None
+        mem_addr: Optional[int] = None
+        srcs = inst.srcs
+        dest = inst.dest
+
+        if spec.fmt in ("R", "I", "LI"):
+            self.write_reg(dest, self._alu_value(inst))
+        elif spec.fmt == "LD":
+            mem_addr = int(self.read_reg(srcs[0])) + (inst.imm or 0)
+            self.write_reg(dest, self.read_mem(mem_addr))
+        elif spec.fmt == "ST":
+            mem_addr = int(self.read_reg(srcs[0])) + (inst.imm or 0)
+            self.write_mem(mem_addr, self.read_reg(srcs[1]))
+        elif spec.fmt == "BR":
+            taken = self._branch_taken(inst)
+            if taken:
+                target = inst.target
+                next_pc = target
+        elif spec.fmt == "J":
+            taken = True
+            target = inst.target
+            next_pc = target
+            if spec.is_link:
+                self.write_reg(LINK_REG, self.pc + 4)
+                dest = LINK_REG
+        elif spec.fmt == "JR":
+            taken = True
+            target = int(self.read_reg(srcs[0]))
+            next_pc = target
+        elif spec.fmt == "N":
+            if spec.is_halt:
+                self.halted = True
+        else:  # pragma: no cover - closed opcode table
+            raise ExecutionError(f"unhandled format {spec.fmt!r}")
+
+        uop = MicroOp(seq, self.pc, spec.op_class, srcs=srcs, dest=dest,
+                      mem_addr=mem_addr, taken=taken, target=target)
+        self.pc = next_pc
+        return uop
+
+    def _alu_value(self, inst: Instruction) -> Union[int, float]:
+        mnem = inst.spec.mnemonic
+        if inst.spec.fmt == "LI":
+            return inst.imm or 0
+        a = self.read_reg(inst.srcs[0])
+        b: Union[int, float]
+        if inst.spec.fmt == "I":
+            b = inst.imm or 0
+        else:
+            b = self.read_reg(inst.srcs[1])
+        if mnem in ("add", "addi"):
+            return int(a) + int(b)
+        if mnem == "sub":
+            return int(a) - int(b)
+        if mnem in ("and", "andi"):
+            return int(a) & int(b)
+        if mnem in ("or", "ori"):
+            return int(a) | int(b)
+        if mnem == "xor":
+            return int(a) ^ int(b)
+        if mnem in ("sll", "slli"):
+            return int(a) << (int(b) & 63)
+        if mnem in ("srl", "srli"):
+            return (int(a) & _MASK64) >> (int(b) & 63)
+        if mnem in ("slt", "slti"):
+            return 1 if int(a) < int(b) else 0
+        if mnem == "mul":
+            return int(a) * int(b)
+        if mnem in ("div", "rem"):
+            if int(b) == 0:
+                raise ExecutionError(f"division by zero at {self.pc:#x}")
+            quot = abs(int(a)) // abs(int(b))
+            if (int(a) < 0) != (int(b) < 0):
+                quot = -quot
+            if mnem == "div":
+                return quot
+            return int(a) - quot * int(b)
+        if mnem == "fadd":
+            return float(a) + float(b)
+        if mnem == "fsub":
+            return float(a) - float(b)
+        if mnem == "fmul":
+            return float(a) * float(b)
+        if mnem == "fdiv":
+            if float(b) == 0.0:
+                raise ExecutionError(f"fp division by zero at {self.pc:#x}")
+            return float(a) / float(b)
+        if mnem == "fmin":
+            return min(float(a), float(b))
+        if mnem == "fmax":
+            return max(float(a), float(b))
+        raise ExecutionError(f"unhandled ALU mnemonic {mnem!r}")
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        a = int(self.read_reg(inst.srcs[0]))
+        b = int(self.read_reg(inst.srcs[1]))
+        mnem = inst.spec.mnemonic
+        if mnem == "beq":
+            return a == b
+        if mnem == "bne":
+            return a != b
+        if mnem == "blt":
+            return a < b
+        if mnem == "bge":
+            return a >= b
+        raise ExecutionError(f"unhandled branch mnemonic {mnem!r}")
+
+
+def run_program(program: Program,
+                max_instructions: int = 5_000_000) -> FunctionalSimulator:
+    """Run ``program`` to completion; returns the finished simulator so
+    callers can inspect registers and memory."""
+    sim = FunctionalSimulator(program, max_instructions=max_instructions)
+    for _ in sim.run():
+        pass
+    return sim
+
+
+def trace_program(program: Program,
+                  max_instructions: int = 5_000_000) -> Iterator[MicroOp]:
+    """Micro-op trace of ``program`` (generator)."""
+    sim = FunctionalSimulator(program, max_instructions=max_instructions)
+    return sim.run()

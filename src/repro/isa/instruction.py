@@ -1,0 +1,82 @@
+"""Static instruction representation produced by the assembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .opcodes import OpSpec
+from .registers import reg_name
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled static instruction.
+
+    The operand fields are filled in according to the opcode's format
+    (see :mod:`repro.isa.opcodes`).  Register operands are flat
+    architectural names (see :mod:`repro.isa.registers`).
+
+    Attributes
+    ----------
+    spec:
+        Opcode description.
+    addr:
+        Instruction address in the text segment.
+    dest:
+        Destination register (flat name), or ``None``.
+    srcs:
+        Source registers (flat names), in operand order.
+    imm:
+        Immediate / displacement value, or ``None``.
+    target:
+        Resolved control-flow target address for ``BR``/``J`` formats.
+    label:
+        Source-level label the target was resolved from, for listings.
+    """
+
+    spec: OpSpec
+    addr: int
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[int] = None
+    target: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    def disassemble(self) -> str:
+        """Human-readable assembly listing of the instruction."""
+        fmt = self.spec.fmt
+        mnem = self.spec.mnemonic
+        if fmt == "R":
+            return (f"{mnem} {reg_name(self.dest)}, "
+                    f"{reg_name(self.srcs[0])}, {reg_name(self.srcs[1])}")
+        if fmt == "I":
+            return (f"{mnem} {reg_name(self.dest)}, "
+                    f"{reg_name(self.srcs[0])}, {self.imm}")
+        if fmt == "LI":
+            return f"{mnem} {reg_name(self.dest)}, {self.imm}"
+        if fmt == "LD":
+            return (f"{mnem} {reg_name(self.dest)}, "
+                    f"{self.imm}({reg_name(self.srcs[0])})")
+        if fmt == "ST":
+            return (f"{mnem} {reg_name(self.srcs[1])}, "
+                    f"{self.imm}({reg_name(self.srcs[0])})")
+        if fmt == "BR":
+            where = self.label if self.label is not None else hex(self.target or 0)
+            return (f"{mnem} {reg_name(self.srcs[0])}, "
+                    f"{reg_name(self.srcs[1])}, {where}")
+        if fmt == "J":
+            where = self.label if self.label is not None else hex(self.target or 0)
+            return f"{mnem} {where}"
+        if fmt == "JR":
+            return f"{mnem} {reg_name(self.srcs[0])}"
+        return mnem
+
+    def __str__(self) -> str:
+        return f"{self.addr:#06x}: {self.disassemble()}"

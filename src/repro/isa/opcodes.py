@@ -1,0 +1,104 @@
+"""Opcode table for the reproduction ISA.
+
+Each mnemonic maps to an :class:`OpSpec` describing its operand format,
+its :class:`~repro.trace.uop.OpClass` (which determines the functional
+unit and latency in the timing model), and whether it reads/writes
+memory or redirects control flow.
+
+Operand formats
+---------------
+``R``    ``op rd, rs1, rs2``          register-register ALU
+``I``    ``op rd, rs1, imm``          register-immediate ALU
+``LI``   ``op rd, imm``               load-immediate pseudo-format
+``LD``   ``op rd, imm(rs1)``          memory load
+``ST``   ``op rs2, imm(rs1)``         memory store
+``BR``   ``op rs1, rs2, label``       compare-and-branch
+``J``    ``op label``                 unconditional jump
+``JR``   ``op rs1``                   indirect jump (return)
+``N``    ``op``                       no operands (``nop``, ``halt``)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..trace.uop import OpClass
+
+__all__ = ["OpSpec", "OPCODES", "lookup"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: str
+    op_class: OpClass
+    fp_operands: bool = False    #: register operands are FP registers
+    is_jump: bool = False        #: unconditional control transfer
+    is_link: bool = False        #: writes the link register (jal)
+    is_halt: bool = False        #: terminates functional execution
+
+
+def _spec(mnemonic: str, fmt: str, op_class: OpClass, **kw: bool) -> OpSpec:
+    return OpSpec(mnemonic, fmt, op_class, **kw)
+
+
+OPCODES: Dict[str, OpSpec] = {
+    spec.mnemonic: spec
+    for spec in [
+        # integer ALU
+        _spec("add", "R", OpClass.IALU),
+        _spec("sub", "R", OpClass.IALU),
+        _spec("and", "R", OpClass.IALU),
+        _spec("or", "R", OpClass.IALU),
+        _spec("xor", "R", OpClass.IALU),
+        _spec("sll", "R", OpClass.IALU),
+        _spec("srl", "R", OpClass.IALU),
+        _spec("slt", "R", OpClass.IALU),
+        _spec("addi", "I", OpClass.IALU),
+        _spec("andi", "I", OpClass.IALU),
+        _spec("ori", "I", OpClass.IALU),
+        _spec("slli", "I", OpClass.IALU),
+        _spec("srli", "I", OpClass.IALU),
+        _spec("slti", "I", OpClass.IALU),
+        _spec("li", "LI", OpClass.IALU),
+        # integer multiply / divide
+        _spec("mul", "R", OpClass.IMUL),
+        _spec("div", "R", OpClass.IDIV),
+        _spec("rem", "R", OpClass.IDIV),
+        # floating point
+        _spec("fadd", "R", OpClass.FPALU, fp_operands=True),
+        _spec("fsub", "R", OpClass.FPALU, fp_operands=True),
+        _spec("fmin", "R", OpClass.FPALU, fp_operands=True),
+        _spec("fmax", "R", OpClass.FPALU, fp_operands=True),
+        _spec("fmul", "R", OpClass.FPMUL, fp_operands=True),
+        _spec("fdiv", "R", OpClass.FPDIV, fp_operands=True),
+        # memory
+        _spec("ld", "LD", OpClass.LOAD),
+        _spec("st", "ST", OpClass.STORE),
+        _spec("fld", "LD", OpClass.LOAD, fp_operands=True),
+        _spec("fst", "ST", OpClass.STORE, fp_operands=True),
+        # control
+        _spec("beq", "BR", OpClass.BRANCH),
+        _spec("bne", "BR", OpClass.BRANCH),
+        _spec("blt", "BR", OpClass.BRANCH),
+        _spec("bge", "BR", OpClass.BRANCH),
+        _spec("j", "J", OpClass.BRANCH, is_jump=True),
+        _spec("jal", "J", OpClass.BRANCH, is_jump=True, is_link=True),
+        _spec("jr", "JR", OpClass.BRANCH, is_jump=True),
+        # misc
+        _spec("nop", "N", OpClass.NOP),
+        _spec("halt", "N", OpClass.NOP, is_halt=True),
+    ]
+}
+
+
+def lookup(mnemonic: str) -> OpSpec:
+    """Opcode spec for ``mnemonic``; raises ``KeyError`` with a helpful
+    message for unknown mnemonics."""
+    try:
+        return OPCODES[mnemonic.lower()]
+    except KeyError:
+        raise KeyError(f"unknown mnemonic: {mnemonic!r}") from None

@@ -1,0 +1,66 @@
+"""Assembled program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from .instruction import Instruction
+
+__all__ = ["Program", "TEXT_BASE", "DATA_BASE", "WORD_SIZE"]
+
+#: base address of the text segment
+TEXT_BASE = 0x1000
+#: base address of the data segment
+DATA_BASE = 0x100000
+#: architectural word size in bytes (64-bit machine)
+WORD_SIZE = 8
+
+
+@dataclass
+class Program:
+    """An assembled program: text, data, and symbols.
+
+    Attributes
+    ----------
+    instructions:
+        Text segment, in address order; instruction ``i`` lives at
+        ``TEXT_BASE + 4 * i``.
+    data:
+        Initial data memory contents, keyed by byte address (word
+        granularity); values are Python ints or floats.
+    labels:
+        Symbol table mapping label name to address (text or data).
+    entry:
+        Address of the first instruction to execute.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    data: Dict[int, Union[int, float]] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+    entry: int = TEXT_BASE
+
+    def instruction_at(self, addr: int) -> Optional[Instruction]:
+        """Instruction at ``addr``, or ``None`` if outside the text segment."""
+        offset = addr - TEXT_BASE
+        if offset < 0 or offset % 4 != 0:
+            return None
+        index = offset // 4
+        if index >= len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """Full disassembly listing of the text segment."""
+        addr_to_labels: Dict[int, List[str]] = {}
+        for name, addr in self.labels.items():
+            addr_to_labels.setdefault(addr, []).append(name)
+        lines: List[str] = []
+        for inst in self.instructions:
+            for name in sorted(addr_to_labels.get(inst.addr, [])):
+                lines.append(f"{name}:")
+            lines.append(f"  {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Architectural register file name space.
+
+The reproduction ISA has 32 integer registers (``r0``..``r31``, with
+``r0`` hard-wired to zero) and 32 floating-point registers (``f0``..
+``f31``).  The timing pipeline renames both through one flat namespace
+of 64 architectural names, so this module also defines the flat
+numbering used in :class:`~repro.trace.uop.MicroOp` records: integer
+register ``rN`` is name ``N`` and ``fN`` is name ``32 + N``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+__all__ = [
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_ARCH_REGS",
+    "ZERO_REG",
+    "LINK_REG",
+    "int_reg",
+    "fp_reg",
+    "is_fp_reg",
+    "reg_name",
+    "parse_register",
+]
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: integer register hard-wired to zero
+ZERO_REG = 0
+#: register written by ``jal``
+LINK_REG = 31
+
+_REG_RE = re.compile(r"^(r|f)(\d{1,2})$")
+
+
+def int_reg(n: int) -> int:
+    """Flat architectural name of integer register ``rN``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Flat architectural name of floating-point register ``fN``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {n}")
+    return NUM_INT_REGS + n
+
+
+def is_fp_reg(name: int) -> bool:
+    """True when the flat name refers to a floating-point register."""
+    if not 0 <= name < NUM_ARCH_REGS:
+        raise ValueError(f"architectural register name out of range: {name}")
+    return name >= NUM_INT_REGS
+
+
+def reg_name(name: int) -> str:
+    """Assembly spelling of a flat architectural name."""
+    if is_fp_reg(name):
+        return f"f{name - NUM_INT_REGS}"
+    return f"r{name}"
+
+
+def parse_register(token: str) -> Optional[int]:
+    """Parse an assembly register token to a flat name.
+
+    Returns ``None`` when the token is not a register (so callers can
+    fall through to immediate/label parsing).
+    """
+    match = _REG_RE.match(token.strip().lower())
+    if match is None:
+        return None
+    kind, index = match.group(1), int(match.group(2))
+    if kind == "r":
+        if index >= NUM_INT_REGS:
+            raise ValueError(f"no such integer register: {token}")
+        return int_reg(index)
+    if index >= NUM_FP_REGS:
+        raise ValueError(f"no such fp register: {token}")
+    return fp_reg(index)

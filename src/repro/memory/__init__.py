@@ -1,0 +1,15 @@
+"""Memory hierarchy: set-associative caches and main memory."""
+
+from .cache import Cache, CacheStats, MemoryLevel
+from .hierarchy import CacheConfig, CacheHierarchy, HierarchyConfig
+from .main_memory import MainMemory
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyConfig",
+    "MainMemory",
+    "MemoryLevel",
+]

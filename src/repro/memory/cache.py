@@ -1,0 +1,153 @@
+"""Set-associative cache timing model.
+
+Latency-oriented (no data storage): an access returns the number of
+cycles until the requested word is available, walking misses down to the
+next level.  Replacement is true LRU per set; writes allocate and mark
+lines dirty (write-back, for traffic statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["CacheStats", "Cache", "MemoryLevel"]
+
+
+class MemoryLevel:
+    """Interface for anything a cache can miss to."""
+
+    name: str = "memory-level"
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Cycles until the word at ``addr`` is available."""
+        raise NotImplementedError
+
+
+@dataclass
+class CacheStats:
+    """Per-cache access counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+        self.dirty = False
+
+
+class Cache(MemoryLevel):
+    """One level of set-associative, LRU, write-back/write-allocate cache.
+
+    Parameters
+    ----------
+    name:
+        Label used in statistics reports.
+    size_bytes / assoc / line_bytes:
+        Geometry; ``size_bytes`` must be divisible by
+        ``assoc * line_bytes`` and ``line_bytes`` a power of two.
+    hit_latency:
+        Total cycles for a hit in this level (absolute, not additive on
+        top of lower levels — matching the paper's Table 1 convention:
+        L1 2 cycles, L2 12 cycles, memory 100 cycles).
+    parent:
+        Next level to access on a miss; ``None`` makes misses cost only
+        ``hit_latency`` (useful in unit tests).
+    """
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int, hit_latency: int,
+                 parent: Optional[MemoryLevel] = None) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        if assoc <= 0:
+            raise ValueError("assoc must be positive")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError("size must be divisible by assoc * line_bytes")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.parent = parent
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.stats = CacheStats()
+        # each set is an insertion-ordered dict tag -> line; the first
+        # entry is least recently used
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(self.num_sets)]
+
+    # -- geometry helpers -----------------------------------------------------
+
+    def _index_tag(self, addr: int) -> "tuple[int, int]":
+        line_addr = addr // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def contains(self, addr: int) -> bool:
+        """True when the line holding ``addr`` is resident (no side effects)."""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    # -- access ------------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        index, tag = self._index_tag(addr)
+        lines = self._sets[index]
+        line = lines.get(tag)
+        if line is not None:
+            # LRU update: move to most-recently-used position
+            del lines[tag]
+            lines[tag] = line
+            if is_write:
+                line.dirty = True
+            self.stats.hits += 1
+            return self.hit_latency
+        self.stats.misses += 1
+        miss_latency = self.hit_latency
+        if self.parent is not None:
+            miss_latency = self.parent.access(addr, is_write=False)
+        if len(lines) >= self.assoc:
+            victim_tag = next(iter(lines))
+            victim = lines.pop(victim_tag)
+            if victim.dirty:
+                self.stats.writebacks += 1
+        new_line = _Line(tag)
+        new_line.dirty = is_write
+        lines[tag] = new_line
+        return miss_latency
+
+    def preload(self, addr: int) -> None:
+        """Install the line holding ``addr`` without touching statistics.
+
+        Used to warm caches before measurement, standing in for the
+        paper's 2-billion-instruction fast-forward period.
+        """
+        index, tag = self._index_tag(addr)
+        lines = self._sets[index]
+        if tag in lines:
+            return
+        if len(lines) >= self.assoc:
+            lines.pop(next(iter(lines)))
+        lines[tag] = _Line(tag)
+
+    def flush(self) -> None:
+        """Invalidate every line (keeps statistics)."""
+        for lines in self._sets:
+            lines.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Cache {self.name} {self.size_bytes // 1024}KB "
+                f"{self.assoc}-way {self.line_bytes}B lines>")

@@ -1,0 +1,24 @@
+"""Cycle-level out-of-order superscalar pipeline."""
+
+from .config import BASELINE_DEPTH, DEEP_DEPTH, DepthConfig, MachineConfig
+from .core import Pipeline
+from .inflight import InflightOp
+from .pipetrace import render_pipetrace
+from .stats import SimStats
+from .usage import CycleUsage, UsageTotals
+from .verification import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "BASELINE_DEPTH",
+    "DEEP_DEPTH",
+    "CycleUsage",
+    "DepthConfig",
+    "InflightOp",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MachineConfig",
+    "Pipeline",
+    "render_pipetrace",
+    "SimStats",
+    "UsageTotals",
+]

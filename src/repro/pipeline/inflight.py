@@ -1,0 +1,84 @@
+"""In-flight instruction records for the out-of-order window."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..trace.uop import MicroOp
+
+__all__ = ["InflightOp"]
+
+
+class InflightOp:
+    """One instruction between dispatch and commit.
+
+    Scheduling protocol: at dispatch the op learns its register
+    producers.  A producer that has already been *scheduled* (issued)
+    contributes its ``consumer_ready_cycle`` immediately; otherwise the
+    op registers itself as a waiter and ``unresolved`` counts the
+    producers still unscheduled.  The op may issue once ``unresolved``
+    is zero and ``ready_cycle`` has arrived.
+    """
+
+    __slots__ = (
+        "uop", "dispatch_cycle", "ready_cycle", "unresolved", "waiters",
+        "issued_cycle", "consumer_ready_cycle", "complete_cycle",
+        "completed", "committed", "mem_latency", "forwarded",
+        "mispredicted", "predicted_taken", "predicted_target",
+        "wrong_path", "squashed", "commit_cycle",
+    )
+
+    def __init__(self, uop: MicroOp, dispatch_cycle: int) -> None:
+        self.uop = uop
+        self.dispatch_cycle = dispatch_cycle
+        self.ready_cycle = dispatch_cycle + 1
+        self.unresolved = 0
+        self.waiters: List["InflightOp"] = []
+        self.issued_cycle: Optional[int] = None
+        self.consumer_ready_cycle: Optional[int] = None
+        self.complete_cycle: Optional[int] = None
+        self.completed = False
+        self.committed = False
+        self.mem_latency: Optional[int] = None
+        self.forwarded = False
+        self.mispredicted = False
+        self.predicted_taken = False
+        self.predicted_target: Optional[int] = None
+        self.wrong_path = False   #: speculatively fetched past a mispredict
+        self.squashed = False     #: removed by a wrong-path squash
+        self.commit_cycle: Optional[int] = None
+
+    @property
+    def seq(self) -> int:
+        return self.uop.seq
+
+    @property
+    def issued(self) -> bool:
+        return self.issued_cycle is not None
+
+    def can_issue(self, cycle: int) -> bool:
+        return (not self.issued and self.unresolved == 0
+                and self.ready_cycle <= cycle)
+
+    def add_producer(self, producer: "InflightOp") -> None:
+        """Record a register dependence on ``producer``."""
+        if producer.consumer_ready_cycle is not None:
+            self.ready_cycle = max(self.ready_cycle,
+                                   producer.consumer_ready_cycle)
+        else:
+            self.unresolved += 1
+            producer.waiters.append(self)
+
+    def schedule(self, consumer_ready_cycle: int) -> None:
+        """Called at issue: fix when dependents may issue and wake them."""
+        self.consumer_ready_cycle = consumer_ready_cycle
+        for waiter in self.waiters:
+            waiter.unresolved -= 1
+            waiter.ready_cycle = max(waiter.ready_cycle, consumer_ready_cycle)
+        self.waiters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("committed" if self.committed else
+                 "completed" if self.completed else
+                 "issued" if self.issued else "waiting")
+        return f"<InflightOp #{self.seq} {self.uop.op_class.name} {state}>"

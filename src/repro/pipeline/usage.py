@@ -1,0 +1,101 @@
+"""Per-cycle resource-usage records.
+
+The pipeline emits one :class:`CycleUsage` at the end of every cycle.
+Gating policies and the power accountant consume it: policies decide
+which blocks were (or could have been) clock-gated; the accountant
+converts usage + gate decisions into energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..trace.uop import FUClass
+
+__all__ = ["CycleUsage", "UsageTotals"]
+
+
+@dataclass
+class CycleUsage:
+    """Everything that happened in one cycle, as the clock tree sees it."""
+
+    cycle: int = 0
+    fetched: int = 0
+    decoded: int = 0
+    renamed: int = 0          #: ops crossing the rename-stage output latch
+    dispatched: int = 0
+    issued: int = 0
+    issued_loads: int = 0
+    issued_stores: int = 0
+    issued_fp: int = 0
+    committed: int = 0
+    #: per-FU-class tuple of per-instance activity (True = op in flight)
+    fu_active: Dict[FUClass, Tuple[bool, ...]] = field(default_factory=dict)
+    #: selection-logic GRANT signals raised this cycle, as
+    #: (fu_class, instance index, execute-stage occupancy in cycles) —
+    #: DCG's §3.1 advance information
+    grants: List[Tuple[FUClass, int, int]] = field(default_factory=list)
+    #: gated-stage latch slot usage, keyed by stage name
+    latch_slots: Dict[str, int] = field(default_factory=dict)
+    dcache_load_ports: int = 0
+    dcache_store_ports: int = 0
+    result_bus_used: int = 0
+    window_occupancy: int = 0
+    lsq_occupancy: int = 0
+    fetch_stalled: bool = False
+
+    @property
+    def dcache_ports_used(self) -> int:
+        return self.dcache_load_ports + self.dcache_store_ports
+
+    def fu_used_count(self, fu_class: FUClass) -> int:
+        return sum(self.fu_active.get(fu_class, ()))
+
+
+@dataclass
+class UsageTotals:
+    """Running sums of :class:`CycleUsage`, for utilisation reports."""
+
+    cycles: int = 0
+    issued: int = 0
+    committed: int = 0
+    fetched: int = 0
+    fu_active_cycles: Dict[FUClass, int] = field(default_factory=dict)
+    fu_capacity_cycles: Dict[FUClass, int] = field(default_factory=dict)
+    latch_slot_cycles: Dict[str, int] = field(default_factory=dict)
+    dcache_port_cycles: int = 0
+    result_bus_cycles: int = 0
+    fetch_stall_cycles: int = 0
+
+    def add(self, usage: CycleUsage) -> None:
+        self.cycles += 1
+        self.issued += usage.issued
+        self.committed += usage.committed
+        self.fetched += usage.fetched
+        for fu_class, mask in usage.fu_active.items():
+            self.fu_active_cycles[fu_class] = (
+                self.fu_active_cycles.get(fu_class, 0) + sum(mask))
+            self.fu_capacity_cycles[fu_class] = (
+                self.fu_capacity_cycles.get(fu_class, 0) + len(mask))
+        for stage, slots in usage.latch_slots.items():
+            self.latch_slot_cycles[stage] = (
+                self.latch_slot_cycles.get(stage, 0) + slots)
+        self.dcache_port_cycles += usage.dcache_ports_used
+        self.result_bus_cycles += usage.result_bus_used
+        if usage.fetch_stalled:
+            self.fetch_stall_cycles += 1
+
+    def fu_utilization(self, fu_class: FUClass) -> float:
+        capacity = self.fu_capacity_cycles.get(fu_class, 0)
+        if capacity == 0:
+            return 0.0
+        return self.fu_active_cycles.get(fu_class, 0) / capacity
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def issue_ipc(self) -> float:
+        return self.issued / self.cycles if self.cycles else 0.0

@@ -1,0 +1,35 @@
+"""Wattch-style power models and per-cycle energy accounting."""
+
+from .accounting import (
+    FP_UNIT_CLASSES,
+    FamilyEnergy,
+    INT_UNIT_CLASSES,
+    PowerAccountant,
+)
+from .arrays import ArrayGeometry, ArrayPower, CAMPower
+from .clock import HTreeClock, clock_sink_capacitance
+from .latches import LatchSlotModel
+from .resultbus import ResultBusModel
+from .budget import FU_RELATIVE_WEIGHT, BlockPowers, PowerCalibration
+from .technology import TECH_180NM, Technology
+from .tracing import PowerTraceRecorder
+
+__all__ = [
+    "ArrayGeometry",
+    "ArrayPower",
+    "BlockPowers",
+    "CAMPower",
+    "FP_UNIT_CLASSES",
+    "FU_RELATIVE_WEIGHT",
+    "FamilyEnergy",
+    "HTreeClock",
+    "LatchSlotModel",
+    "ResultBusModel",
+    "clock_sink_capacitance",
+    "INT_UNIT_CLASSES",
+    "PowerAccountant",
+    "PowerCalibration",
+    "PowerTraceRecorder",
+    "TECH_180NM",
+    "Technology",
+]

@@ -1,0 +1,172 @@
+"""Per-cycle energy accounting.
+
+Implements the paper's §4.2 rule: for each block family (execution
+units, pipeline latches, D-cache wordline decoders, result-bus
+drivers, issue queue), a block adds its full per-cycle power to the
+total when it is not clock-gated and zero when it is.  Everything else
+(the ``fixed`` budget) burns every cycle.
+
+The accountant consumes ``(CycleUsage, GateDecision)`` pairs — it is a
+pipeline observer — and accumulates both total energy and per-family
+base/saved energies, from which every figure in §5 is computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.interface import GateDecision
+from ..pipeline.usage import CycleUsage
+from ..trace.uop import FUClass
+from .budget import BlockPowers
+
+__all__ = ["FamilyEnergy", "PowerAccountant",
+           "INT_UNIT_CLASSES", "FP_UNIT_CLASSES"]
+
+#: Fig 12's "integer execution units"
+INT_UNIT_CLASSES = (FUClass.INT_ALU, FUClass.INT_MULT)
+#: Fig 13's "FP execution units"
+FP_UNIT_CLASSES = (FUClass.FP_ALU, FUClass.FP_MULT)
+
+
+@dataclass
+class FamilyEnergy:
+    """Base vs saved energy of one block family (joules, as
+    power x cycles in units of cycle-watts)."""
+
+    base: float = 0.0
+    saved: float = 0.0
+
+    @property
+    def consumed(self) -> float:
+        return self.base - self.saved
+
+    @property
+    def saving_fraction(self) -> float:
+        return self.saved / self.base if self.base else 0.0
+
+
+class PowerAccountant:
+    """Accumulates energy over a run.
+
+    Use as a pipeline observer::
+
+        accountant = PowerAccountant(BlockPowers(config))
+        pipeline.add_observer(accountant.observe)
+    """
+
+    def __init__(self, blocks: BlockPowers) -> None:
+        self.blocks = blocks
+        self.cycles = 0
+        self.families: Dict[str, FamilyEnergy] = {
+            "int_units": FamilyEnergy(),
+            "fp_units": FamilyEnergy(),
+            "latches": FamilyEnergy(),
+            "dcache": FamilyEnergy(),
+            "result_bus": FamilyEnergy(),
+            "issue_queue": FamilyEnergy(),
+        }
+        self.control_overhead_energy = 0.0
+        self.toggle_energy = 0.0
+        # cache per-cycle constants
+        self._int_units_watts = blocks.exec_family_total(INT_UNIT_CLASSES)
+        self._fp_units_watts = blocks.exec_family_total(FP_UNIT_CLASSES)
+        self._latch_watts = blocks.latch_total
+        self._dcache_watts = blocks.dcache_total
+        self._bus_watts = blocks.result_bus_total
+        self._iq_watts = blocks.issue_queue
+        self._toggle_table = blocks.fu_toggle_energy
+        self._period = 1.0 / blocks.tech.frequency_hz
+        # clock gating removes a block's switching power but not its
+        # leakage; the paper's model assumes zero leakage (§4.2)
+        self._gating_efficiency = 1.0 - blocks.calibration.leakage_fraction
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, usage: CycleUsage, decision: GateDecision) -> None:
+        blocks = self.blocks
+        fam = self.families
+
+        fam["int_units"].base += self._int_units_watts
+        fam["fp_units"].base += self._fp_units_watts
+        fam["latches"].base += self._latch_watts
+        fam["dcache"].base += self._dcache_watts
+        fam["result_bus"].base += self._bus_watts
+        fam["issue_queue"].base += self._iq_watts
+
+        eff = self._gating_efficiency
+        for fu_class, gated in decision.fu_gated.items():
+            if gated < 0:
+                raise ValueError(f"negative gated count for {fu_class.name}")
+            saved = gated * blocks.fu_instance[fu_class] * eff
+            if fu_class in INT_UNIT_CLASSES:
+                fam["int_units"].saved += saved
+            else:
+                fam["fp_units"].saved += saved
+
+        fam["latches"].saved += (
+            decision.latch_gated_slots * blocks.latch_per_slot_stage * eff)
+        fam["dcache"].saved += (
+            decision.dcache_ports_gated * blocks.dcache_decoder_per_port
+            * eff)
+        fam["result_bus"].saved += (
+            decision.result_buses_gated * blocks.result_bus_per_bus * eff)
+        fam["issue_queue"].saved += (
+            decision.issue_queue_gated_fraction * self._iq_watts * eff)
+
+        if decision.control_always_on:
+            # DCG's extended latches burn regardless; charge them against
+            # the latch family so Fig 14's overhead-inclusive number falls
+            # out directly
+            overhead = blocks.dcg_control_overhead_watts
+            self.control_overhead_energy += overhead
+            fam["latches"].saved -= overhead
+        for fu_class, flips in decision.fu_toggles.items():
+            # toggle energy is charged against the toggling unit's family
+            toggle = flips * self._toggle_table[fu_class]
+            self.toggle_energy += toggle
+            family = ("int_units" if fu_class in INT_UNIT_CLASSES
+                      else "fp_units")
+            fam[family].saved -= toggle / self._period
+
+        self.cycles += 1
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def base_power(self) -> float:
+        """Per-cycle power of the no-gating machine (constant)."""
+        return self.blocks.total
+
+    @property
+    def saved_energy(self) -> float:
+        return sum(f.saved for f in self.families.values())
+
+    @property
+    def consumed_energy(self) -> float:
+        """Cycle-watts consumed over the run."""
+        return self.base_power * self.cycles - self.saved_energy
+
+    @property
+    def average_power(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.consumed_energy / self.cycles
+
+    @property
+    def total_saving_fraction(self) -> float:
+        """Fraction of total processor power saved (Fig 10's metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.saved_energy / (self.base_power * self.cycles)
+
+    def family_saving(self, family: str) -> float:
+        """Per-family saving fraction (Figs 12-16's metric)."""
+        return self.families[family].saving_fraction
+
+    def exec_units_saving(self) -> float:
+        """Combined integer + FP execution-unit saving fraction."""
+        int_f, fp_f = self.families["int_units"], self.families["fp_units"]
+        base = int_f.base + fp_f.base
+        return (int_f.saved + fp_f.saved) / base if base else 0.0

@@ -1,0 +1,228 @@
+"""Per-block power budget (Wattch-calibrated).
+
+The paper's accounting (§4.2) is block-granular: every cycle, a block
+that is not clock-gated adds its full per-cycle power; a gated block
+adds zero.  This module turns a machine configuration into absolute
+per-block powers.
+
+Calibration: absolute watts do not carry the paper's claims — relative
+per-structure fractions do.  :class:`PowerCalibration` pins the
+baseline (8-stage, Table 1) breakdown to Wattch-era numbers: the clock
+network (pipeline latches + global tree) is ≈30 % of processor power
+[3], execution units ≈14 %, the D-cache ≈10 % (of which the wordline
+decoders are ≈40 % [7]), result buses ≈2 %.  Within the execution-unit
+family, per-class weights follow relative datapath capacitances.
+Per-block powers are *fixed at the baseline geometry*: a 20-stage
+machine simply has more latch blocks at the same per-slot power, so its
+total power and its latch fraction both grow, as §5.6 expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..pipeline.config import BASELINE_DEPTH, MachineConfig
+from ..trace.uop import FUClass
+from .technology import TECH_180NM, Technology
+
+__all__ = ["PowerCalibration", "BlockPowers", "FU_RELATIVE_WEIGHT"]
+
+#: relative per-instance datapath capacitance of the execution units
+#: (64-bit carry-lookahead adder = 1.0; multipliers and FP datapaths
+#: from Wattch's unit ratios)
+FU_RELATIVE_WEIGHT: Dict[FUClass, float] = {
+    FUClass.INT_ALU: 1.0,
+    FUClass.INT_MULT: 2.3,
+    FUClass.FP_ALU: 1.7,
+    FUClass.FP_MULT: 2.6,
+}
+
+
+@dataclass(frozen=True)
+class PowerCalibration:
+    """Baseline power breakdown (fractions of total processor power for
+    the Table 1 machine with no clock gating anywhere)."""
+
+    total_watts: float = 60.0
+    frac_exec_units: float = 0.14
+    frac_latches: float = 0.16        #: all 8 stage latches, 8 slots each
+    frac_dcache: float = 0.10
+    frac_result_bus: float = 0.02
+    frac_issue_queue: float = 0.06
+    frac_fetch: float = 0.08          #: fetch logic + I-cache
+    frac_decode: float = 0.03
+    frac_rename: float = 0.04
+    frac_regfile: float = 0.08
+    frac_lsq_rob: float = 0.05
+    frac_l2: float = 0.06
+    frac_clock_tree: float = 0.14     #: global distribution (not gateable)
+    #: wordline-decoder share of D-cache power; the paper (§5.4, citing
+    #: [7]) puts the three-stage dynamic decoders at ~40 % of the cache
+    frac_dcache_decoders: float = 0.40
+    #: DCG control: extended pipeline latches, always clocked (§5.3
+    #: measures them at ~1 % of total latch power)
+    dcg_control_latch_fraction: float = 0.01
+    #: energy of one execution-unit gate<->ungate toggle, as a fraction
+    #: of that unit's per-cycle energy (control AND gates, di/dt guard)
+    fu_toggle_energy_fraction: float = 0.02
+    #: fraction of each block's power that is leakage and survives
+    #: clock gating.  The paper assumes zero (§2.1/§4.2: "we assume
+    #: there is no leakage loss"); non-zero values support a
+    #: sensitivity extension for later technology nodes.
+    leakage_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_watts <= 0:
+            raise ValueError("total_watts must be positive")
+        if self.named_fraction_sum() > 1.0 + 1e-9:
+            raise ValueError("calibration fractions exceed 1.0")
+        if not 0.0 <= self.leakage_fraction < 1.0:
+            raise ValueError("leakage_fraction must be in [0, 1)")
+
+    def named_fraction_sum(self) -> float:
+        return (self.frac_exec_units + self.frac_latches + self.frac_dcache
+                + self.frac_result_bus + self.frac_issue_queue
+                + self.frac_fetch + self.frac_decode + self.frac_rename
+                + self.frac_regfile + self.frac_lsq_rob + self.frac_l2
+                + self.frac_clock_tree)
+
+    @property
+    def frac_misc(self) -> float:
+        return max(0.0, 1.0 - self.named_fraction_sum())
+
+
+class BlockPowers:
+    """Absolute per-block powers for one machine configuration.
+
+    Attributes (watts)
+    ------------------
+    fu_instance:
+        Per-instance per-cycle power, by FU class.
+    latch_per_slot_stage:
+        One issue slot's latch at one pipeline stage.
+    dcache_decoder_per_port:
+        One D-cache port's wordline decoder.
+    result_bus_per_bus:
+        One result-bus driver.
+    issue_queue:
+        Whole issue queue (PLB gates a mode-dependent fraction).
+    fixed:
+        Everything never gated by either technique (front end, rename,
+        register file, LSQ/ROB, L2, global clock tree, D-cache minus
+        decoders, misc).
+    """
+
+    def __init__(self, config: MachineConfig,
+                 calibration: PowerCalibration = PowerCalibration(),
+                 tech: Technology = TECH_180NM) -> None:
+        self.config = config
+        self.calibration = calibration
+        self.tech = tech
+        cal = calibration
+        total = cal.total_watts
+
+        # --- execution units: family watts split by datapath weights of
+        # the *baseline* unit complement, so per-instance power does not
+        # depend on how many units this config instantiates
+        from ..backend.funits import DEFAULT_FU_COUNTS
+        baseline_weight = sum(
+            DEFAULT_FU_COUNTS[cls] * FU_RELATIVE_WEIGHT[cls]
+            for cls in FU_RELATIVE_WEIGHT)
+        watts_per_weight = cal.frac_exec_units * total / baseline_weight
+        self.fu_instance: Dict[FUClass, float] = {
+            cls: FU_RELATIVE_WEIGHT[cls] * watts_per_weight
+            for cls in FU_RELATIVE_WEIGHT}
+
+        # --- pipeline latches: calibrated on the 8-stage, 8-wide machine
+        baseline_slots = BASELINE_DEPTH.total_stages * 8
+        self.latch_per_slot_stage = cal.frac_latches * total / baseline_slots
+
+        # --- D-cache: decoder fraction per the paper (§5.4 cites ~40 %
+        # of D-cache power in the dynamic wordline decoders [7])
+        l1d = config.hierarchy.l1d
+        self.dcache_decoder_fraction = cal.frac_dcache_decoders
+        dcache_watts = cal.frac_dcache * total
+        self.dcache_decoder_per_port = (
+            dcache_watts * self.dcache_decoder_fraction / max(1, l1d.ports))
+        self.dcache_other = dcache_watts * (1.0 - self.dcache_decoder_fraction)
+
+        # --- result bus drivers: calibrated per bus on the 8-bus machine
+        self.result_bus_per_bus = cal.frac_result_bus * total / 8
+
+        # --- issue queue (PLB's extra gated component)
+        self.issue_queue = cal.frac_issue_queue * total
+
+        # --- never-gated remainder
+        self.fixed = total * (cal.frac_fetch + cal.frac_decode
+                              + cal.frac_rename + cal.frac_regfile
+                              + cal.frac_lsq_rob + cal.frac_l2
+                              + cal.frac_clock_tree + cal.frac_misc)
+
+    # -- family totals for this configuration ------------------------------
+
+    @property
+    def exec_units_total(self) -> float:
+        return sum(self.fu_instance[cls] * count
+                   for cls, count in self.config.fu_counts.items()
+                   if cls in self.fu_instance)
+
+    def exec_family_total(self, classes) -> float:
+        return sum(self.fu_instance[cls] * self.config.fu_counts.get(cls, 0)
+                   for cls in classes)
+
+    @property
+    def latch_total(self) -> float:
+        slots = self.config.depth.total_stages * self.config.issue_width
+        return self.latch_per_slot_stage * slots
+
+    @property
+    def latch_gated_capacity(self) -> int:
+        """Gateable latch slot-stages per cycle."""
+        return self.config.depth.gated_latch_stages * self.config.issue_width
+
+    @property
+    def dcache_total(self) -> float:
+        ports = self.config.hierarchy.l1d.ports
+        return self.dcache_decoder_per_port * ports + self.dcache_other
+
+    @property
+    def result_bus_total(self) -> float:
+        return self.result_bus_per_bus * self.config.result_buses
+
+    @property
+    def dcg_control_overhead_watts(self) -> float:
+        """Always-on power of DCG's extended control latches."""
+        return self.calibration.dcg_control_latch_fraction * self.latch_total
+
+    @property
+    def fu_toggle_energy(self) -> Dict[FUClass, float]:
+        """Per-toggle energy (J) by unit class."""
+        period = 1.0 / self.tech.frequency_hz
+        return {cls: watts * period * self.calibration.fu_toggle_energy_fraction
+                for cls, watts in self.fu_instance.items()}
+
+    @property
+    def total(self) -> float:
+        """Total per-cycle power of this configuration, nothing gated."""
+        return (self.exec_units_total + self.latch_total + self.dcache_total
+                + self.result_bus_total + self.issue_queue + self.fixed)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Structure -> watts, for reports and calibration tests."""
+        cal, total = self.calibration, self.calibration.total_watts
+        return {
+            "execution units": self.exec_units_total,
+            "pipeline latches": self.latch_total,
+            "dcache": self.dcache_total,
+            "result bus": self.result_bus_total,
+            "issue queue": self.issue_queue,
+            "fetch + icache": cal.frac_fetch * total,
+            "decode": cal.frac_decode * total,
+            "rename": cal.frac_rename * total,
+            "register file": cal.frac_regfile * total,
+            "lsq + rob": cal.frac_lsq_rob * total,
+            "l2": cal.frac_l2 * total,
+            "global clock tree": cal.frac_clock_tree * total,
+            "misc": cal.frac_misc * total,
+        }

@@ -1,0 +1,83 @@
+"""Clock distribution network model.
+
+Wattch models the global clock as an H-tree driving per-structure
+loads; the paper's motivation (§1) is that this network plus the
+clocked sinks burn 30-35 % of processor power.  This module gives the
+calibration a circuit-level cross-check: an H-tree of configurable
+depth over a die of configurable edge length, plus the aggregate sink
+load of the machine's latches.
+
+The *gateable* part of clock power is the sink side (latches, dynamic
+logic): DCG ANDs the clock at the block, leaving the global tree
+running.  That split is why the calibration keeps ``frac_latches``
+(gateable) separate from ``frac_clock_tree`` (not gateable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import TECH_180NM, Technology
+
+__all__ = ["HTreeClock", "clock_sink_capacitance"]
+
+
+@dataclass(frozen=True)
+class HTreeClock:
+    """Balanced H-tree over a square die.
+
+    Parameters
+    ----------
+    die_edge_um:
+        Die edge length in µm.
+    levels:
+        Tree depth; level ``i`` has ``2**i`` branches, each roughly half
+        the previous level's length.
+    buffer_width_um:
+        Driver width at each branch point (gate load of the repeater).
+    """
+
+    die_edge_um: float = 12_000.0
+    levels: int = 8
+    buffer_width_um: float = 40.0
+    tech: Technology = TECH_180NM
+
+    def __post_init__(self) -> None:
+        if self.die_edge_um <= 0:
+            raise ValueError("die_edge_um must be positive")
+        if self.levels <= 0:
+            raise ValueError("levels must be positive")
+
+    def wire_capacitance(self) -> float:
+        """Total metal capacitance of the tree (F).
+
+        Level ``i`` contributes ``2**i`` segments of length
+        ``die_edge / 2**ceil(i/2)`` — the standard H-tree recursion
+        where segment length halves every two levels.
+        """
+        total_length = 0.0
+        for level in range(self.levels):
+            segments = 2 ** level
+            length = self.die_edge_um / (2 ** math.ceil(level / 2))
+            total_length += segments * length
+        return total_length * self.tech.cmetal_per_um
+
+    def buffer_capacitance(self) -> float:
+        """Gate capacitance of the repeaters at every branch point."""
+        branch_points = 2 ** self.levels - 1
+        return (branch_points * self.buffer_width_um
+                * self.tech.cgate_per_um)
+
+    def tree_power(self) -> float:
+        """Per-cycle power of the global tree (switches every cycle)."""
+        cap = self.wire_capacitance() + self.buffer_capacitance()
+        return self.tech.switch_power(cap)
+
+
+def clock_sink_capacitance(latch_bits: int,
+                           tech: Technology = TECH_180NM) -> float:
+    """Aggregate clock-pin capacitance of ``latch_bits`` latch bits."""
+    if latch_bits < 0:
+        raise ValueError("latch_bits must be non-negative")
+    return latch_bits * tech.latch_cap_per_bit

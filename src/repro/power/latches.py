@@ -1,0 +1,90 @@
+"""Pipeline-latch circuit model.
+
+Figure 1 of the paper: a latch's cumulative gate capacitance ``Cg``
+hangs on the clock and charges/discharges every cycle whether or not
+the data changes; gating the clock with an AND gate saves that power at
+the cost of the AND gate's (much smaller) capacitance.
+
+This module sizes one *issue slot's* stage latch from the machine
+configuration — operand data, destination tag, opcode/control — and
+provides the per-slot clock power plus the §3.2 overhead terms (the
+extended latch bits that carry DCG's one-hot encodings, and the AND
+gates on the gated clock lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pipeline.config import MachineConfig
+from .technology import TECH_180NM, Technology
+
+__all__ = ["LatchSlotModel"]
+
+_AND_GATE_WIDTH_UM = 1.0   # minimum-size AND on the gated clock line
+
+
+@dataclass(frozen=True)
+class LatchSlotModel:
+    """Per-issue-slot stage-latch sizing.
+
+    Attributes
+    ----------
+    operand_bits:
+        Data payload per slot — the paper sizes it as operands per
+        instruction x operand width (e.g. 2 x 64).
+    tag_bits / control_bits:
+        Destination tag and opcode/steering control per slot.
+    """
+
+    operand_bits: int = 2 * 64
+    tag_bits: int = 8
+    control_bits: int = 24
+    tech: Technology = TECH_180NM
+
+    def __post_init__(self) -> None:
+        for name in ("operand_bits", "tag_bits", "control_bits"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def bits_per_slot(self) -> int:
+        return self.operand_bits + self.tag_bits + self.control_bits
+
+    def slot_clock_capacitance(self) -> float:
+        """Clock load of one slot's latch at one stage (F)."""
+        return self.bits_per_slot * self.tech.latch_cap_per_bit
+
+    def slot_clock_power(self) -> float:
+        """Per-cycle clock power of one slot-stage latch (W)."""
+        return self.tech.switch_power(self.slot_clock_capacitance())
+
+    def and_gate_power(self) -> float:
+        """Per-cycle power of the clock-gating AND gate itself."""
+        cap = _AND_GATE_WIDTH_UM * self.tech.cgate_per_um
+        return self.tech.switch_power(cap)
+
+    def gating_overhead_fraction(self) -> float:
+        """AND-gate power as a fraction of the latch it gates — the
+        'net power saving' argument under Figure 1(b)."""
+        return self.and_gate_power() / self.slot_clock_power()
+
+    # -- DCG control sizing (§3.2) ------------------------------------------
+
+    def control_bits_per_stage(self, config: MachineConfig) -> int:
+        """Extended latch bits carrying the one-hot encoding down one
+        stage: one valid bit per issue slot."""
+        return config.issue_width
+
+    def control_overhead_fraction(self, config: MachineConfig) -> float:
+        """DCG's extended latches as a fraction of total latch bits.
+
+        The paper measures ~1 % of total latch power (§5.3); this
+        computes the same ratio from first principles: one bit per slot
+        per gated stage versus ``bits_per_slot`` per slot per stage.
+        """
+        gated = config.depth.gated_latch_stages
+        total = config.depth.total_stages
+        control_bits = self.control_bits_per_stage(config) * gated
+        payload_bits = self.bits_per_slot * config.issue_width * total
+        return control_bits / payload_bits

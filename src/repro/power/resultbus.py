@@ -1,0 +1,99 @@
+"""Result-bus driver models (Figure 9 of the paper).
+
+The writeback stage drives results over long, heavily-loaded wires back
+to the register file and bypass network.  The paper shows two gating
+schemes:
+
+* **static drivers** (Fig 9a): the driver is static CMOS; gating is
+  implemented at the pipeline latch feeding it, so a gated cycle stops
+  the input from toggling and the wire capacitance never switches;
+* **dynamic drivers** (Fig 9b): the driver itself is dynamic logic, so
+  its clock can be gated directly, saving the precharge power as well.
+
+Both schemes make an unused bus cost (nearly) nothing, which is what
+the accounting model assumes; the difference shows up in the *ungated*
+idle cost, quantified here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import TECH_180NM, Technology
+
+__all__ = ["ResultBusModel"]
+
+_VALID_SCHEMES = ("static", "dynamic")
+
+
+@dataclass(frozen=True)
+class ResultBusModel:
+    """One result bus: wire run plus driver.
+
+    Parameters
+    ----------
+    width_bits:
+        Payload width (64-bit results plus tag).
+    length_um:
+        Wire run from the execution units to the register file.
+    scheme:
+        ``"static"`` or ``"dynamic"`` driver style (Fig 9a / 9b).
+    activity:
+        Fraction of payload bits toggling on a used cycle.
+    """
+
+    width_bits: int = 72
+    length_um: float = 6_000.0
+    scheme: str = "dynamic"
+    activity: float = 0.5
+    tech: Technology = TECH_180NM
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _VALID_SCHEMES:
+            raise ValueError(f"scheme must be one of {_VALID_SCHEMES}")
+        if self.width_bits <= 0 or self.length_um <= 0:
+            raise ValueError("bus geometry must be positive")
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+
+    def wire_capacitance(self) -> float:
+        """Load capacitance C_L of the full bus (F)."""
+        return self.width_bits * self.length_um * self.tech.cmetal_per_um
+
+    def driver_clock_capacitance(self) -> float:
+        """Clock-pin capacitance of the driver stage.
+
+        Static drivers have no clock pin (their gating lives in the
+        feeding latch); dynamic drivers precharge every cycle.
+        """
+        if self.scheme == "static":
+            return 0.0
+        return self.width_bits * self.tech.latch_cap_per_bit * 0.5
+
+    def used_cycle_power(self) -> float:
+        """Per-cycle power when the bus carries a result."""
+        wire = self.tech.switch_power(self.wire_capacitance(),
+                                      activity=self.activity)
+        return wire + self.tech.switch_power(self.driver_clock_capacitance())
+
+    def idle_ungated_power(self) -> float:
+        """Per-cycle power when idle but *not* clock-gated.
+
+        Static drivers may still toggle from spurious input switching
+        (the paper's Fig 9a argument for isolating the input); dynamic
+        drivers keep precharging.
+        """
+        if self.scheme == "static":
+            spurious = 0.25 * self.activity
+            return self.tech.switch_power(self.wire_capacitance(),
+                                          activity=spurious)
+        return self.tech.switch_power(self.driver_clock_capacitance())
+
+    def gated_power(self) -> float:
+        """Per-cycle power when clock-gated: zero in the paper's model
+        (§4.2, no leakage)."""
+        return 0.0
+
+    def gating_benefit(self) -> float:
+        """Idle power removed by gating, per cycle (W)."""
+        return self.idle_ungated_power() - self.gated_power()

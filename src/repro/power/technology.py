@@ -1,0 +1,66 @@
+"""0.18 µm technology parameters for the Wattch-style power models.
+
+Wattch computes dynamic power as ``P = C · Vdd² · f · a`` where ``C``
+is the switched capacitance, ``Vdd`` the supply, ``f`` the clock, and
+``a`` an activity factor.  The paper estimates overall processor energy
+"using Wattch scaled for a 0.18 µm technology" (§4.1); these constants
+follow that scaling.  All absolute values are nominal — the paper's
+claims (and this reproduction's) ride on *relative* per-structure
+powers, which the capacitance formulas determine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Technology", "TECH_180NM"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process + operating-point constants."""
+
+    name: str
+    feature_um: float        #: drawn feature size (µm)
+    vdd: float               #: supply voltage (V)
+    frequency_hz: float      #: clock frequency (Hz)
+    # capacitance primitives (farads)
+    cgate_per_um: float      #: gate capacitance per µm of transistor width
+    cdiff_per_um: float      #: drain/source diffusion cap per µm width
+    cmetal_per_um: float     #: wire capacitance per µm of metal length
+    # representative device widths (µm)
+    wordline_pass_width: float   #: memory-cell pass transistor width
+    decoder_nand_width: float    #: decoder NAND input width
+    precharge_width: float       #: bitline precharge transistor width
+    sense_amp_cap: float         #: fixed sense-amp capacitance (F)
+    latch_cap_per_bit: float     #: clock load of one latch bit (F)
+
+    @property
+    def powerfactor(self) -> float:
+        """``Vdd² · f`` — multiply by capacitance for watts."""
+        return self.vdd * self.vdd * self.frequency_hz
+
+    def switch_power(self, capacitance: float, activity: float = 1.0) -> float:
+        """Dynamic power (W) of ``capacitance`` switching with activity
+        factor ``activity`` every cycle."""
+        if capacitance < 0 or activity < 0:
+            raise ValueError("capacitance and activity must be non-negative")
+        return capacitance * self.powerfactor * activity
+
+
+#: Wattch's 0.35 µm Alpha-derived constants scaled to 0.18 µm
+#: (linear shrink of widths/lengths, Vdd 3.3 V -> 1.8 V, 600 MHz -> 1 GHz)
+TECH_180NM = Technology(
+    name="180nm",
+    feature_um=0.18,
+    vdd=1.8,
+    frequency_hz=1.0e9,
+    cgate_per_um=1.95e-15,
+    cdiff_per_um=1.10e-15,
+    cmetal_per_um=0.275e-15,
+    wordline_pass_width=0.36,
+    decoder_nand_width=1.8,
+    precharge_width=3.6,
+    sense_amp_cap=1.0e-14,
+    latch_cap_per_bit=3.0e-14,
+)

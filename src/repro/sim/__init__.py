@@ -1,0 +1,15 @@
+"""Simulation drivers: facade, experiment runner, canonical configs."""
+
+from .configs import baseline_config, deep_pipeline_config, default_instructions
+from .runner import ExperimentRunner
+from .simulator import SimulationResult, Simulator, make_policy
+
+__all__ = [
+    "ExperimentRunner",
+    "SimulationResult",
+    "Simulator",
+    "baseline_config",
+    "deep_pipeline_config",
+    "default_instructions",
+    "make_policy",
+]

@@ -1,0 +1,40 @@
+"""Canonical machine configurations from the paper."""
+
+from __future__ import annotations
+
+import os
+
+from ..pipeline.config import DEEP_DEPTH, MachineConfig
+
+__all__ = ["baseline_config", "deep_pipeline_config", "default_instructions"]
+
+
+def baseline_config() -> MachineConfig:
+    """The Table 1 processor: 8-way issue, 128-entry window, 64-entry
+    LSQ, 6 integer ALUs / 2 integer mul-div / 4 FP ALUs / 4 FP mul-div,
+    2-ported 64KB 2-way 2-cycle L1 D-cache, 2MB 8-way 12-cycle L2,
+    100-cycle memory, 8-cycle misprediction penalty."""
+    return MachineConfig()
+
+
+def deep_pipeline_config() -> MachineConfig:
+    """The §5.6 20-stage machine (same widths and resources)."""
+    return MachineConfig(depth=DEEP_DEPTH)
+
+
+def default_instructions(default: int = 8_000) -> int:
+    """Per-benchmark instruction budget for experiment runs.
+
+    The paper simulates 500 M instructions per benchmark after a 2 B
+    fast-forward; a pure-Python pipeline cannot.  Profiles are
+    stationary and caches are pre-warmed, so statistics converge within
+    a few thousand cycles.  Override with ``REPRO_SIM_INSTRUCTIONS``
+    for longer, higher-fidelity runs.
+    """
+    value = os.environ.get("REPRO_SIM_INSTRUCTIONS")
+    if value is None:
+        return default
+    count = int(value)
+    if count <= 0:
+        raise ValueError("REPRO_SIM_INSTRUCTIONS must be positive")
+    return count

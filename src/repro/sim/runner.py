@@ -1,0 +1,117 @@
+"""Experiment runner with result caching.
+
+Every figure in §5 is computed from the same small set of
+(machine-config, benchmark, policy) simulations; the runner memoises
+them so the per-figure harnesses in :mod:`repro.analysis` can be run in
+any order without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.interface import GatingPolicy
+from ..pipeline.config import MachineConfig
+from ..power.budget import PowerCalibration
+from .configs import baseline_config, deep_pipeline_config, default_instructions
+from .simulator import SimulationResult, Simulator
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Memoising façade over :class:`Simulator`.
+
+    Parameters
+    ----------
+    instructions:
+        Per-run instruction budget (defaults to
+        :func:`~repro.sim.configs.default_instructions`, which honours
+        ``REPRO_SIM_INSTRUCTIONS``).
+    calibration:
+        Power calibration shared by all configurations.
+    """
+
+    def __init__(self, instructions: Optional[int] = None,
+                 calibration: Optional[PowerCalibration] = None) -> None:
+        self.instructions = instructions or default_instructions()
+        self.calibration = calibration or PowerCalibration()
+        self._simulators: Dict[str, Simulator] = {}
+        self._cache: Dict[Tuple[str, str, str], SimulationResult] = {}
+
+    # -- configurations ---------------------------------------------------
+
+    def _make_config(self, tag: str) -> MachineConfig:
+        if tag == "baseline":
+            return baseline_config()
+        if tag == "deep":
+            return deep_pipeline_config()
+        if tag.startswith("int_alus="):
+            return baseline_config().with_int_alus(int(tag.split("=", 1)[1]))
+        if tag == "fu=round-robin":
+            from dataclasses import replace
+            from ..backend.funits import AllocationPolicy
+            return replace(baseline_config(),
+                           fu_policy=AllocationPolicy.ROUND_ROBIN)
+        if tag.startswith("width="):
+            from dataclasses import replace
+            width = int(tag.split("=", 1)[1])
+            return replace(baseline_config(), fetch_width=width,
+                           decode_width=width, issue_width=width,
+                           commit_width=width, result_buses=width)
+        if tag.startswith("window="):
+            from dataclasses import replace
+            size = int(tag.split("=", 1)[1])
+            return replace(baseline_config(), window_size=size,
+                           lsq_size=max(8, size // 2))
+        if tag.startswith("ports="):
+            from dataclasses import replace
+            from ..memory.hierarchy import HierarchyConfig
+            ports = int(tag.split("=", 1)[1])
+            base = baseline_config()
+            hier = HierarchyConfig(
+                l1i=base.hierarchy.l1i,
+                l1d=replace(base.hierarchy.l1d, ports=ports),
+                l2=base.hierarchy.l2,
+                memory_latency=base.hierarchy.memory_latency,
+                bus_bytes=base.hierarchy.bus_bytes)
+            return replace(base, hierarchy=hier)
+        raise ValueError(f"unknown configuration tag {tag!r}")
+
+    def simulator(self, tag: str = "baseline") -> Simulator:
+        if tag not in self._simulators:
+            self._simulators[tag] = Simulator(
+                self._make_config(tag), self.calibration)
+        return self._simulators[tag]
+
+    # -- runs -------------------------------------------------------------
+
+    def run(self, benchmark: str, policy: str = "base",
+            tag: str = "baseline",
+            policy_factory: Optional[Callable[[], GatingPolicy]] = None
+            ) -> SimulationResult:
+        """Cached simulation of ``benchmark`` under ``policy``.
+
+        ``policy`` is the cache key; pass ``policy_factory`` to run a
+        custom-configured policy object under a distinct name (ablation
+        studies do this).
+        """
+        key = (tag, benchmark, policy)
+        if key not in self._cache:
+            sim = self.simulator(tag)
+            policy_arg = policy_factory() if policy_factory else policy
+            self._cache[key] = sim.run_benchmark(
+                benchmark, policy_arg, instructions=self.instructions)
+        return self._cache[key]
+
+    def base(self, benchmark: str, tag: str = "baseline") -> SimulationResult:
+        return self.run(benchmark, "base", tag)
+
+    def dcg(self, benchmark: str, tag: str = "baseline") -> SimulationResult:
+        return self.run(benchmark, "dcg", tag)
+
+    def plb_orig(self, benchmark: str) -> SimulationResult:
+        return self.run(benchmark, "plb-orig")
+
+    def plb_ext(self, benchmark: str) -> SimulationResult:
+        return self.run(benchmark, "plb-ext")

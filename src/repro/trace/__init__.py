@@ -1,0 +1,26 @@
+"""Micro-op trace records, streams, and statistics."""
+
+from .stream import TraceExhausted, TraceStream, materialize
+from .stats import TraceStats, collect_stats
+from .uop import (
+    FP_OP_CLASSES,
+    FUClass,
+    INT_OP_CLASSES,
+    MEM_OP_CLASSES,
+    MicroOp,
+    OpClass,
+)
+
+__all__ = [
+    "FP_OP_CLASSES",
+    "FUClass",
+    "INT_OP_CLASSES",
+    "MEM_OP_CLASSES",
+    "MicroOp",
+    "OpClass",
+    "TraceExhausted",
+    "TraceStats",
+    "TraceStream",
+    "collect_stats",
+    "materialize",
+]

@@ -1,0 +1,108 @@
+"""Trace statistics.
+
+Summarises a micro-op stream: instruction mix, register-dependency
+distances, branch and memory behaviour.  Used by workload tests to check
+that synthetic traces hit their profile targets, and by examples to
+characterise programs before simulating them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from .uop import FP_OP_CLASSES, INT_OP_CLASSES, MEM_OP_CLASSES, MicroOp, OpClass
+
+__all__ = ["TraceStats", "collect_stats"]
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over a trace."""
+
+    count: int = 0
+    class_counts: Counter = field(default_factory=Counter)
+    branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    dep_distance_sum: int = 0
+    dep_distance_samples: int = 0
+    unique_pcs: int = 0
+    unique_blocks_64b: int = 0
+
+    @property
+    def mix(self) -> Dict[OpClass, float]:
+        """Fraction of the trace in each op class."""
+        if self.count == 0:
+            return {}
+        return {cls: n / self.count for cls, n in self.class_counts.items()}
+
+    def fraction(self, op_class: OpClass) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.class_counts.get(op_class, 0) / self.count
+
+    @property
+    def int_fraction(self) -> float:
+        return sum(self.fraction(c) for c in INT_OP_CLASSES)
+
+    @property
+    def fp_fraction(self) -> float:
+        return sum(self.fraction(c) for c in FP_OP_CLASSES)
+
+    @property
+    def mem_fraction(self) -> float:
+        return sum(self.fraction(c) for c in MEM_OP_CLASSES)
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.fraction(OpClass.BRANCH)
+
+    @property
+    def taken_rate(self) -> float:
+        """Fraction of branches that are taken."""
+        return self.taken_branches / self.branches if self.branches else 0.0
+
+    @property
+    def mean_dep_distance(self) -> float:
+        """Mean dynamic distance (in instructions) to the producer of a
+        source register, over sources with a known in-trace producer."""
+        if self.dep_distance_samples == 0:
+            return 0.0
+        return self.dep_distance_sum / self.dep_distance_samples
+
+
+def collect_stats(trace: Iterable[MicroOp]) -> TraceStats:
+    """Single-pass statistics collection over ``trace``."""
+    stats = TraceStats()
+    last_writer: Dict[int, int] = {}
+    pcs = set()
+    blocks = set()
+    index = 0
+    for op in trace:
+        stats.count += 1
+        stats.class_counts[op.op_class] += 1
+        pcs.add(op.pc)
+        if op.mem_addr is not None:
+            blocks.add(op.mem_addr >> 6)
+        if op.is_branch:
+            stats.branches += 1
+            if op.taken:
+                stats.taken_branches += 1
+        if op.is_load:
+            stats.loads += 1
+        elif op.is_store:
+            stats.stores += 1
+        for src in op.srcs:
+            writer = last_writer.get(src)
+            if writer is not None:
+                stats.dep_distance_sum += index - writer
+                stats.dep_distance_samples += 1
+        if op.dest is not None:
+            last_writer[op.dest] = index
+        index += 1
+    stats.unique_pcs = len(pcs)
+    stats.unique_blocks_64b = len(blocks)
+    return stats

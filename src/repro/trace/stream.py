@@ -1,0 +1,92 @@
+"""Trace streams.
+
+A *trace* is an iterable of :class:`~repro.trace.uop.MicroOp`.  The
+pipeline pulls micro-ops on demand through a :class:`TraceStream`, which
+adds one-op lookahead (``peek``) and bounds the total number of ops
+delivered, so experiment run lengths are controlled in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from .uop import MicroOp
+
+__all__ = ["TraceStream", "TraceExhausted", "materialize"]
+
+
+class TraceExhausted(Exception):
+    """Raised by :meth:`TraceStream.next` when no micro-ops remain."""
+
+
+class TraceStream:
+    """Pull-based wrapper over a micro-op iterable.
+
+    Parameters
+    ----------
+    source:
+        Any iterable of :class:`MicroOp`.
+    limit:
+        Maximum number of micro-ops to deliver; ``None`` means until the
+        underlying iterable is exhausted.
+    """
+
+    def __init__(self, source: Iterable[MicroOp], limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        self._it: Iterator[MicroOp] = iter(source)
+        self._limit = limit
+        self._delivered = 0
+        self._lookahead: Optional[MicroOp] = None
+        self._done = False
+
+    @property
+    def delivered(self) -> int:
+        """Number of micro-ops handed out so far."""
+        return self._delivered
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no further micro-ops will be delivered."""
+        if self._lookahead is not None:
+            return False
+        self._fill()
+        return self._lookahead is None
+
+    def _fill(self) -> None:
+        if self._done or self._lookahead is not None:
+            return
+        if self._limit is not None and self._delivered >= self._limit:
+            self._done = True
+            return
+        try:
+            self._lookahead = next(self._it)
+        except StopIteration:
+            self._done = True
+
+    def peek(self) -> Optional[MicroOp]:
+        """Next micro-op without consuming it, or ``None`` at end."""
+        self._fill()
+        return self._lookahead
+
+    def next(self) -> MicroOp:
+        """Consume and return the next micro-op."""
+        self._fill()
+        if self._lookahead is None:
+            raise TraceExhausted(f"trace ended after {self._delivered} micro-ops")
+        op = self._lookahead
+        self._lookahead = None
+        self._delivered += 1
+        return op
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        while True:
+            self._fill()
+            if self._lookahead is None:
+                return
+            yield self.next()
+
+
+def materialize(source: Iterable[MicroOp], limit: Optional[int] = None) -> List[MicroOp]:
+    """Collect a bounded trace into a list (testing convenience)."""
+    return list(TraceStream(source, limit=limit))

@@ -1,0 +1,180 @@
+"""Micro-operation records.
+
+A :class:`MicroOp` is the unit of work flowing through the timing
+pipeline.  Both trace producers (the synthetic workload generator in
+:mod:`repro.workloads` and the functional ISA tracer in
+:mod:`repro.isa.functional`) emit streams of micro-ops, and the
+out-of-order core in :mod:`repro.pipeline` consumes them.
+
+The record is deliberately architectural: it carries the *outcome* of
+the instruction (branch direction/target, effective address) so that a
+trace-driven timing model can replay control flow and memory behaviour
+without re-executing data computation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "OpClass",
+    "FUClass",
+    "MicroOp",
+    "INT_OP_CLASSES",
+    "FP_OP_CLASSES",
+    "MEM_OP_CLASSES",
+]
+
+
+class OpClass(enum.IntEnum):
+    """Architectural operation classes recognised by the pipeline."""
+
+    IALU = 0      #: integer add/sub/logic/shift/compare
+    IMUL = 1      #: integer multiply
+    IDIV = 2      #: integer divide
+    FPALU = 3     #: floating-point add/sub/compare/convert
+    FPMUL = 4     #: floating-point multiply
+    FPDIV = 5     #: floating-point divide / sqrt
+    LOAD = 6      #: memory read
+    STORE = 7     #: memory write
+    BRANCH = 8    #: conditional branch / jump / call / return
+    NOP = 9       #: no architectural effect (still occupies a slot)
+
+
+class FUClass(enum.IntEnum):
+    """Functional-unit classes, matching Table 1 of the paper."""
+
+    INT_ALU = 0    #: 6 units in the baseline
+    INT_MULT = 1   #: 2 integer multiply/divide units
+    FP_ALU = 2     #: 4 FP adders
+    FP_MULT = 3    #: 4 FP multiply/divide units
+    MEM_PORT = 4   #: 2 D-cache ports (load/store issue)
+
+
+#: op classes counted as "integer program work" in mix accounting
+INT_OP_CLASSES = frozenset({OpClass.IALU, OpClass.IMUL, OpClass.IDIV})
+#: op classes counted as floating-point work
+FP_OP_CLASSES = frozenset({OpClass.FPALU, OpClass.FPMUL, OpClass.FPDIV})
+#: op classes that access the data cache
+MEM_OP_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+
+_OP_TO_FU = {
+    OpClass.IALU: FUClass.INT_ALU,
+    OpClass.IMUL: FUClass.INT_MULT,
+    OpClass.IDIV: FUClass.INT_MULT,
+    OpClass.FPALU: FUClass.FP_ALU,
+    OpClass.FPMUL: FUClass.FP_MULT,
+    OpClass.FPDIV: FUClass.FP_MULT,
+    OpClass.LOAD: FUClass.MEM_PORT,
+    OpClass.STORE: FUClass.MEM_PORT,
+    OpClass.BRANCH: FUClass.INT_ALU,
+    OpClass.NOP: FUClass.INT_ALU,
+}
+
+
+class MicroOp:
+    """One dynamic instruction as seen by the timing model.
+
+    Parameters
+    ----------
+    seq:
+        Dynamic sequence number (monotonically increasing within a trace).
+    pc:
+        Instruction address.
+    op_class:
+        The :class:`OpClass` of the instruction.
+    srcs:
+        Architectural source register numbers (0..63; integer and FP
+        registers share one flat namespace of 64 names).
+    dest:
+        Architectural destination register, or ``None``.
+    mem_addr:
+        Effective address for loads/stores, else ``None``.
+    taken:
+        Branch outcome; only meaningful when ``op_class is BRANCH``.
+    target:
+        Branch target address; only meaningful for taken branches.
+    """
+
+    __slots__ = ("seq", "pc", "op_class", "srcs", "dest", "mem_addr",
+                 "taken", "target")
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op_class: OpClass,
+        srcs: Sequence[int] = (),
+        dest: Optional[int] = None,
+        mem_addr: Optional[int] = None,
+        taken: bool = False,
+        target: Optional[int] = None,
+    ) -> None:
+        if op_class is OpClass.BRANCH and taken and target is None:
+            raise ValueError("taken branch requires a target address")
+        if op_class in MEM_OP_CLASSES and mem_addr is None:
+            raise ValueError("memory micro-op requires an effective address")
+        self.seq = seq
+        self.pc = pc
+        self.op_class = op_class
+        self.srcs: Tuple[int, ...] = tuple(srcs)
+        self.dest = dest
+        self.mem_addr = mem_addr
+        self.taken = taken
+        self.target = target
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def fu_class(self) -> FUClass:
+        """Functional-unit class this op executes on."""
+        return _OP_TO_FU[self.op_class]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op_class in MEM_OP_CLASSES
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> bool:
+        return self.op_class in FP_OP_CLASSES
+
+    @property
+    def is_int(self) -> bool:
+        return self.op_class in INT_OP_CLASSES
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dest is not None
+
+    @property
+    def next_pc(self) -> int:
+        """Address of the next dynamic instruction."""
+        if self.is_branch and self.taken:
+            assert self.target is not None
+            return self.target
+        return self.pc + 4
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"#{self.seq}", f"pc={self.pc:#x}", self.op_class.name]
+        if self.srcs:
+            bits.append("srcs=" + ",".join(f"r{s}" for s in self.srcs))
+        if self.dest is not None:
+            bits.append(f"dest=r{self.dest}")
+        if self.mem_addr is not None:
+            bits.append(f"ea={self.mem_addr:#x}")
+        if self.is_branch:
+            bits.append("taken" if self.taken else "not-taken")
+        return "<MicroOp " + " ".join(bits) + ">"

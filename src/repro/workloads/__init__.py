@@ -1,0 +1,29 @@
+"""Workloads: SPEC2000-like profiles, synthetic traces, asm kernels."""
+
+from .kernels import KERNELS
+from .microbench import MICROBENCHMARKS, get_microbenchmark
+from .phases import PhasedWorkload
+from .profiles import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    SPEC2000,
+    get_profile,
+)
+from .synthetic import SyntheticTraceGenerator, generate_trace
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkProfile",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "KERNELS",
+    "MICROBENCHMARKS",
+    "PhasedWorkload",
+    "get_microbenchmark",
+    "SPEC2000",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "get_profile",
+]

@@ -1,0 +1,188 @@
+"""Assembly kernels for execute-driven simulation.
+
+These small programs exercise the public ISA + pipeline path with real
+(rather than synthetic) control flow and data dependencies.  Each
+function returns assembly source; assemble with
+:func:`repro.isa.assemble` and trace with
+:func:`repro.isa.trace_program`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "vector_sum",
+    "dot_product",
+    "matmul",
+    "fibonacci",
+    "linked_list_walk",
+    "saxpy",
+    "KERNELS",
+]
+
+
+def vector_sum(n: int = 64) -> str:
+    """Sum the integers 0..n-1 from memory into ``r1``."""
+    words = ", ".join(str(i) for i in range(n))
+    return f"""
+    .data
+vec:    .word {words}
+    .text
+main:   li   r1, 0          # accumulator
+        li   r2, 0          # index
+        li   r3, {n}        # length
+loop:   slli r4, r2, 3
+        ld   r5, vec(r4)
+        add  r1, r1, r5
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+"""
+
+
+def dot_product(n: int = 32) -> str:
+    """Integer dot product of two n-vectors into ``r1``."""
+    a = ", ".join(str(i + 1) for i in range(n))
+    b = ", ".join(str(2 * i + 1) for i in range(n))
+    return f"""
+    .data
+veca:   .word {a}
+vecb:   .word {b}
+    .text
+main:   li   r1, 0
+        li   r2, 0
+        li   r3, {n}
+loop:   slli r4, r2, 3
+        ld   r5, veca(r4)
+        ld   r6, vecb(r4)
+        mul  r7, r5, r6
+        add  r1, r1, r7
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+"""
+
+
+def matmul(n: int = 8) -> str:
+    """Dense integer n x n matrix multiply, result in the ``c`` array.
+
+    A[i][j] = i + j, B[i][j] = i * j; checks exercise nested loops,
+    address arithmetic, and load/store traffic.
+    """
+    a = ", ".join(str(i + j) for i in range(n) for j in range(n))
+    b = ", ".join(str(i * j) for i in range(n) for j in range(n))
+    return f"""
+    .data
+mata:   .word {a}
+matb:   .word {b}
+matc:   .space {8 * n * n}
+    .text
+main:   li   r1, 0            # i
+iloop:  li   r2, 0            # j
+jloop:  li   r3, 0            # k
+        li   r4, 0            # acc
+kloop:  li   r10, {n}
+        mul  r5, r1, r10      # i*n
+        add  r5, r5, r3       # i*n + k
+        slli r5, r5, 3
+        ld   r6, mata(r5)
+        mul  r7, r3, r10      # k*n
+        add  r7, r7, r2       # k*n + j
+        slli r7, r7, 3
+        ld   r8, matb(r7)
+        mul  r9, r6, r8
+        add  r4, r4, r9
+        addi r3, r3, 1
+        blt  r3, r10, kloop
+        mul  r5, r1, r10
+        add  r5, r5, r2
+        slli r5, r5, 3
+        st   r4, matc(r5)
+        addi r2, r2, 1
+        blt  r2, r10, jloop
+        addi r1, r1, 1
+        blt  r1, r10, iloop
+        halt
+"""
+
+
+def fibonacci(n: int = 20) -> str:
+    """Iterative Fibonacci; F(n) left in ``r1`` (tight dependence chain)."""
+    return f"""
+    .text
+main:   li   r1, 0            # F(0)
+        li   r2, 1            # F(1)
+        li   r3, 0            # i
+        li   r4, {n}
+loop:   add  r5, r1, r2
+        add  r1, r2, r0
+        add  r2, r5, r0
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+"""
+
+
+def linked_list_walk(nodes: int = 64, hops: int = 256) -> str:
+    """Pointer-chasing walk over a circular linked list (mcf-like).
+
+    Each node is two words: (value, next_pointer).  The walk serialises
+    loads: every next-address comes from the previous load.
+    """
+    entries = []
+    from repro.isa.program import DATA_BASE
+    for i in range(nodes):
+        succ = (i * 7 + 3) % nodes   # scrambled successor pattern
+        entries.append(str(i))                             # value
+        entries.append(str(DATA_BASE + 16 * succ))         # next
+    words = ", ".join(entries)
+    return f"""
+    .data
+list:   .word {words}
+    .text
+main:   li   r1, 0            # checksum
+        li   r2, list         # current node pointer
+        li   r3, 0            # hop counter
+        li   r4, {hops}
+loop:   ld   r5, 0(r2)        # node value
+        add  r1, r1, r5
+        ld   r2, 8(r2)        # next pointer (serialising load)
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+"""
+
+
+def saxpy(n: int = 48) -> str:
+    """Floating-point saxpy: y[i] = a * x[i] + y[i]."""
+    xs = ", ".join(f"{float(i)}" for i in range(n))
+    ys = ", ".join(f"{float(2 * i)}" for i in range(n))
+    return f"""
+    .data
+xvec:   .double {xs}
+yvec:   .double {ys}
+aval:   .double 1.5
+    .text
+main:   li   r2, 0
+        li   r3, {n}
+        fld  f1, aval(r0)
+loop:   slli r4, r2, 3
+        fld  f2, xvec(r4)
+        fld  f3, yvec(r4)
+        fmul f4, f1, f2
+        fadd f5, f4, f3
+        fst  f5, yvec(r4)
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+"""
+
+
+#: name -> zero-argument kernel source factory (default sizes)
+KERNELS = {
+    "vector_sum": vector_sum,
+    "dot_product": dot_product,
+    "matmul": matmul,
+    "fibonacci": fibonacci,
+    "linked_list_walk": linked_list_walk,
+    "saxpy": saxpy,
+}

@@ -1,0 +1,81 @@
+"""Synthetic microbenchmark profiles.
+
+Stress profiles that isolate one machine behaviour each — useful for
+unit-testing gating policies against extremes and for teaching what
+each knob does.  They live outside the SPEC2000 registry on purpose:
+experiment harnesses iterate ``SPEC2000`` and must not pick these up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..trace.uop import OpClass
+from .profiles import BenchmarkProfile
+
+__all__ = ["MICROBENCHMARKS", "get_microbenchmark"]
+
+
+def _mb(name: str, mix: Dict[OpClass, float], branch: float,
+        **kw) -> BenchmarkProfile:
+    total = sum(mix.values())
+    scaled = {cls: frac * (1.0 - branch) / total for cls, frac in mix.items()}
+    kw.setdefault("seed", hash(name) % 100_000)
+    return BenchmarkProfile(name=name, suite=kw.pop("suite", "int"),
+                            mix=scaled, branch_fraction=branch, **kw)
+
+
+MICROBENCHMARKS: Dict[str, BenchmarkProfile] = {
+    # pure integer ALU pressure: every issue slot wants an adder
+    "alu_storm": _mb(
+        "alu_storm", {OpClass.IALU: 1.0}, branch=0.02,
+        independent_src_fraction=0.9, dep_mean_distance=30.0,
+        mean_loop_trip=64.0, random_branch_fraction=0.0,
+        hot_fraction=1.0, warm_fraction=0.0, cold_fraction=0.0),
+    # pure FP pressure on the multipliers
+    "fp_mul_storm": _mb(
+        "fp_mul_storm", {OpClass.FPMUL: 0.7, OpClass.FPALU: 0.3},
+        branch=0.02, suite="fp",
+        independent_src_fraction=0.9, dep_mean_distance=30.0,
+        mean_loop_trip=64.0, random_branch_fraction=0.0,
+        hot_fraction=1.0, warm_fraction=0.0, cold_fraction=0.0),
+    # saturate both D-cache ports
+    "load_storm": _mb(
+        "load_storm", {OpClass.LOAD: 0.8, OpClass.IALU: 0.2},
+        branch=0.02,
+        independent_src_fraction=0.9, dep_mean_distance=30.0,
+        mean_loop_trip=64.0, random_branch_fraction=0.0,
+        hot_fraction=1.0, warm_fraction=0.0, cold_fraction=0.0),
+    # every load misses to memory: maximal stall, maximal gating room
+    "miss_storm": _mb(
+        "miss_storm", {OpClass.LOAD: 0.5, OpClass.IALU: 0.5},
+        branch=0.02,
+        independent_src_fraction=0.3, dep_mean_distance=4.0,
+        pointer_chase_fraction=0.5, mean_loop_trip=64.0,
+        random_branch_fraction=0.0,
+        hot_fraction=0.02, warm_fraction=0.02, cold_fraction=0.96),
+    # unpredictable branches: the front end lives in redirect stalls
+    "branch_storm": _mb(
+        "branch_storm", {OpClass.IALU: 1.0}, branch=0.25,
+        independent_src_fraction=0.8, dep_mean_distance=20.0,
+        mean_loop_trip=4.0, random_branch_fraction=0.8,
+        random_branch_taken_prob=0.5,
+        hot_fraction=1.0, warm_fraction=0.0, cold_fraction=0.0),
+    # a serial dependence chain: ILP of ~1 regardless of width
+    "serial_chain": _mb(
+        "serial_chain", {OpClass.IALU: 1.0}, branch=0.02,
+        independent_src_fraction=0.0, dep_mean_distance=1.0,
+        mean_loop_trip=64.0, random_branch_fraction=0.0,
+        hot_fraction=1.0, warm_fraction=0.0, cold_fraction=0.0),
+}
+
+
+def get_microbenchmark(name: str) -> BenchmarkProfile:
+    """Microbenchmark profile by name (KeyError lists valid names)."""
+    try:
+        return MICROBENCHMARKS[name]
+    except KeyError:
+        valid = ", ".join(sorted(MICROBENCHMARKS))
+        raise KeyError(
+            f"unknown microbenchmark {name!r}; choose one of: {valid}"
+        ) from None

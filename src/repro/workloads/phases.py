@@ -1,0 +1,80 @@
+"""Phase-alternating workloads.
+
+PLB's whole premise is that programs move through phases of differing
+ILP and that a 256-cycle sampling window can track them.  A
+:class:`PhasedWorkload` splices two (or more) benchmark profiles into
+one instruction stream, switching every ``phase_length`` instructions,
+so the tracking behaviour — and its lag, the source of PLB's
+mispredictions — can be studied directly.  DCG is phase-oblivious by
+construction.
+
+Each phase gets its own code region (distinct PCs) so the branch
+predictor and BTB see a realistic phase change rather than aliased
+history.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..trace.uop import MicroOp
+from .profiles import BenchmarkProfile, get_profile
+from .synthetic import SyntheticTraceGenerator, _CODE_BASE
+
+__all__ = ["PhasedWorkload"]
+
+#: PC-space stride between the phases' code regions
+_PHASE_CODE_STRIDE = 0x0010_0000
+
+
+class PhasedWorkload:
+    """Round-robin splice of several synthetic workloads.
+
+    Parameters
+    ----------
+    profiles:
+        Benchmark profiles (or registry names) to alternate between.
+    phase_length:
+        Instructions emitted from one profile before switching.
+    seed:
+        Overrides every phase generator's seed when given.
+    """
+
+    def __init__(self, profiles: Sequence, phase_length: int = 4_096,
+                 seed: Optional[int] = None) -> None:
+        if len(profiles) < 2:
+            raise ValueError("a phased workload needs at least two profiles")
+        if phase_length <= 0:
+            raise ValueError("phase_length must be positive")
+        self.profiles: List[BenchmarkProfile] = [
+            get_profile(p) if isinstance(p, str) else p for p in profiles]
+        self.phase_length = phase_length
+        self.generators = [
+            SyntheticTraceGenerator(
+                profile, seed=seed,
+                code_base=_CODE_BASE + i * _PHASE_CODE_STRIDE)
+            for i, profile in enumerate(self.profiles)]
+
+    @property
+    def name(self) -> str:
+        return "phased(" + "+".join(p.name for p in self.profiles) + ")"
+
+    def prewarm(self, hierarchy) -> None:
+        """Warm the caches with every phase's resident working set."""
+        for generator in self.generators:
+            generator.prewarm(hierarchy)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        streams = [iter(generator) for generator in self.generators]
+        seq = 0
+        phase = 0
+        while True:
+            stream = streams[phase % len(streams)]
+            for _ in range(self.phase_length):
+                op = next(stream)
+                # renumber so the spliced stream has one sequence space
+                yield MicroOp(seq, op.pc, op.op_class, srcs=op.srcs,
+                              dest=op.dest, mem_addr=op.mem_addr,
+                              taken=op.taken, target=op.target)
+                seq += 1
+            phase += 1

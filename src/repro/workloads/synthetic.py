@@ -1,0 +1,309 @@
+"""Synthetic micro-op trace generation.
+
+:class:`SyntheticTraceGenerator` turns a
+:class:`~repro.workloads.profiles.BenchmarkProfile` into an unbounded,
+reproducible stream of :class:`~repro.trace.uop.MicroOp`.
+
+The generator builds a small static control-flow skeleton (a ring of
+basic blocks with loop back-edges, data-dependent conditional branches,
+and occasional indirect-style jumps) and walks it, so the 2-level branch
+predictor in the timing model sees realistic, learnable history: loop
+branches mispredict roughly once per trip, data-dependent branches
+mispredict at their bias rate.
+
+Data addresses follow the profile's three-region working-set model, and
+register dependencies follow a geometric producer-distance distribution,
+optionally serialised by pointer-chasing loads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..trace.uop import MicroOp, OpClass
+from .profiles import BenchmarkProfile
+
+__all__ = ["SyntheticTraceGenerator", "generate_trace"]
+
+_CODE_BASE = 0x0040_0000
+_HOT_BASE = 0x1000_0000
+_WARM_BASE = 0x2000_0000
+_COLD_BASE = 0x3000_0000
+_LINE_BYTES = 64
+_WORD = 8
+
+# register pools used for generated values (r0 is the zero register and
+# low registers are reserved so kernels and synthetic traces never clash)
+_INT_POOL = tuple(range(4, 32))
+_FP_POOL = tuple(range(36, 64))
+# long-stable registers (stack pointer, loop invariants): the generator
+# never writes these, so sources reading them are always ready
+_INT_STABLE = (1, 2, 3)
+_FP_STABLE = (33, 34, 35)
+
+
+@dataclass
+class _Block:
+    """One static basic block of the synthetic CFG."""
+
+    index: int
+    base_pc: int
+    body_len: int           #: non-branch instructions before the branch
+    kind: str               #: "loop" | "random" | "jump" | "fall"
+    target_index: int       #: branch-taken successor block
+    taken_prob: float = 0.5  #: only used by "random" blocks
+
+    @property
+    def branch_pc(self) -> int:
+        return self.base_pc + 4 * self.body_len
+
+
+class SyntheticTraceGenerator:
+    """Unbounded micro-op stream for one benchmark profile.
+
+    Parameters
+    ----------
+    profile:
+        Workload description.
+    seed:
+        Overrides ``profile.seed`` when given, so variance studies can
+        re-run the same benchmark with different random streams.
+    """
+
+    def __init__(self, profile: BenchmarkProfile, seed: Optional[int] = None,
+                 code_base: int = _CODE_BASE) -> None:
+        self.profile = profile
+        self.code_base = code_base
+        self._rng = random.Random(profile.seed if seed is None else seed)
+        self._seq = 0
+        self._recent_int: List[int] = []
+        self._recent_fp: List[int] = []
+        self._last_load_dest: Optional[int] = None
+        self._chase_next_load = False
+        self._int_rr = 0
+        self._fp_rr = 0
+        self._cold_ptr = _COLD_BASE
+        self._loop_counters: Dict[int, int] = {}
+        self._mix_classes, self._mix_weights = self._build_mix(profile)
+        self._blocks = self._build_cfg(profile)
+
+    # -- static structure ----------------------------------------------------
+
+    @staticmethod
+    def _build_mix(profile: BenchmarkProfile) -> Tuple[List[OpClass], List[float]]:
+        classes: List[OpClass] = []
+        weights: List[float] = []
+        for cls, frac in profile.mix.items():
+            if frac > 0.0:
+                classes.append(cls)
+                weights.append(frac)
+        if not classes:
+            raise ValueError(f"profile {profile.name} has an empty mix")
+        return classes, weights
+
+    def _build_cfg(self, profile: BenchmarkProfile) -> List[_Block]:
+        mean_body = max(1.0, (1.0 - profile.branch_fraction)
+                        / max(profile.branch_fraction, 1e-6))
+        blocks: List[_Block] = []
+        pc = self.code_base
+        n = profile.code_blocks
+        for index in range(n):
+            # low-variance body lengths keep the *dynamic* branch
+            # fraction close to the profile target even when loops make
+            # a handful of blocks dominate execution
+            body_len = max(1, round(self._rng.gauss(mean_body, 0.30 * mean_body)))
+            roll = self._rng.random()
+            if roll < profile.random_branch_fraction:
+                kind = "random"
+                target = (index + self._rng.randint(2, 5)) % n
+            elif roll < profile.random_branch_fraction + 0.04:
+                kind = "jump"
+                target = self._rng.randrange(n)
+            else:
+                kind = "loop"
+                # mostly self-loops; occasional two-block bodies.  Deep
+                # multiplicative nesting would let one nest dominate.
+                depth_roll = self._rng.random()
+                back = 0 if depth_roll < 0.7 else 1
+                target = max(0, index - back)
+            blocks.append(_Block(
+                index=index, base_pc=pc, body_len=body_len, kind=kind,
+                target_index=target,
+                taken_prob=profile.random_branch_taken_prob))
+            pc += 4 * (body_len + 1)
+        return blocks
+
+    # -- register selection ----------------------------------------------------
+
+    def _producer(self, recent: List[int], pool: Tuple[int, ...]) -> int:
+        """Pick a source register at a geometric producer distance."""
+        if self._rng.random() < self.profile.independent_src_fraction:
+            stable = _FP_STABLE if pool is _FP_POOL else _INT_STABLE
+            return self._rng.choice(stable)
+        if not recent:
+            return self._rng.choice(pool)
+        mean = max(1.0, self.profile.dep_mean_distance)
+        distance = min(len(recent), 1 + int(self._rng.expovariate(1.0 / mean)))
+        return recent[-distance]
+
+    def _note_write(self, reg: int, fp: bool) -> None:
+        recent = self._recent_fp if fp else self._recent_int
+        recent.append(reg)
+        if len(recent) > 64:
+            del recent[0]
+
+    def _next_dest(self, fp: bool) -> int:
+        if fp:
+            reg = _FP_POOL[self._fp_rr % len(_FP_POOL)]
+            self._fp_rr += 1
+        else:
+            reg = _INT_POOL[self._int_rr % len(_INT_POOL)]
+            self._int_rr += 1
+        return reg
+
+    # -- memory addresses --------------------------------------------------------
+
+    def _mem_address(self) -> int:
+        p = self.profile
+        roll = self._rng.random()
+        if roll < p.hot_fraction:
+            words = p.hot_bytes // _WORD
+            return _HOT_BASE + _WORD * self._rng.randrange(words)
+        if roll < p.hot_fraction + p.warm_fraction:
+            words = p.warm_bytes // _WORD
+            return _WARM_BASE + _WORD * self._rng.randrange(words)
+        # cold: stream one cache line per access so every cold access is
+        # a compulsory miss all the way to memory
+        addr = self._cold_ptr
+        self._cold_ptr += _LINE_BYTES
+        return addr
+
+    # -- micro-op emission ----------------------------------------------------------
+
+    def _emit(self, pc: int, op_class: OpClass, srcs: Tuple[int, ...],
+              dest: Optional[int], mem_addr: Optional[int] = None,
+              taken: bool = False, target: Optional[int] = None) -> MicroOp:
+        uop = MicroOp(self._seq, pc, op_class, srcs=srcs, dest=dest,
+                      mem_addr=mem_addr, taken=taken, target=target)
+        self._seq += 1
+        return uop
+
+    def _body_op(self, pc: int) -> MicroOp:
+        op_class = self._rng.choices(self._mix_classes, self._mix_weights)[0]
+        if op_class is OpClass.LOAD:
+            return self._load(pc)
+        if op_class is OpClass.STORE:
+            return self._store(pc)
+        fp = op_class in (OpClass.FPALU, OpClass.FPMUL, OpClass.FPDIV)
+        recent = self._recent_fp if fp else self._recent_int
+        pool = _FP_POOL if fp else _INT_POOL
+        srcs = (self._producer(recent, pool), self._producer(recent, pool))
+        dest = self._next_dest(fp)
+        self._note_write(dest, fp)
+        return self._emit(pc, op_class, srcs, dest)
+
+    def _load(self, pc: int) -> MicroOp:
+        fp_dest = self.profile.is_fp and self._rng.random() < 0.55
+        if self._chase_next_load and self._last_load_dest is not None:
+            addr_reg = self._last_load_dest
+        else:
+            addr_reg = self._producer(self._recent_int, _INT_POOL)
+        dest = self._next_dest(fp_dest)
+        addr = self._mem_address()
+        uop = self._emit(pc, OpClass.LOAD, (addr_reg,), dest, mem_addr=addr)
+        if not fp_dest:
+            self._last_load_dest = dest
+            self._note_write(dest, False)
+        else:
+            self._note_write(dest, True)
+        self._chase_next_load = (
+            self._rng.random() < self.profile.pointer_chase_fraction)
+        return uop
+
+    def _store(self, pc: int) -> MicroOp:
+        addr_reg = self._producer(self._recent_int, _INT_POOL)
+        fp_data = self.profile.is_fp and self._rng.random() < 0.5
+        data_reg = self._producer(
+            self._recent_fp if fp_data else self._recent_int,
+            _FP_POOL if fp_data else _INT_POOL)
+        return self._emit(pc, OpClass.STORE, (addr_reg, data_reg), None,
+                          mem_addr=self._mem_address())
+
+    def _branch_op(self, block: _Block) -> Tuple[MicroOp, int]:
+        """Emit the block-terminating branch; returns (uop, next block index)."""
+        n = len(self._blocks)
+        fall_index = (block.index + 1) % n
+        pc = block.branch_pc
+        if block.kind == "jump":
+            target_block = self._blocks[block.target_index]
+            uop = self._emit(pc, OpClass.BRANCH, (), None, taken=True,
+                             target=target_block.base_pc)
+            return uop, block.target_index
+        if block.kind == "random":
+            taken = self._rng.random() < block.taken_prob
+            # data-dependent branches compare a recent (often load-fed) value
+            srcs = (self._producer(self._recent_int, _INT_POOL),
+                    self._producer(self._recent_int, _INT_POOL))
+            target_block = self._blocks[block.target_index]
+            uop = self._emit(pc, OpClass.BRANCH, srcs, None, taken=taken,
+                             target=target_block.base_pc if taken else None)
+            return uop, (block.target_index if taken else fall_index)
+        # loop back-edge: taken until the per-activation trip count
+        # expires.  Loop branches compare the freshly-incremented trip
+        # counter, which is always ready, so they resolve promptly —
+        # unlike the data-dependent "random" branches above.
+        remaining = self._loop_counters.get(block.index)
+        if remaining is None:
+            mean = max(1.0, self.profile.mean_loop_trip)
+            remaining = 1 + int(self._rng.expovariate(1.0 / mean))
+        remaining -= 1
+        srcs = (self._rng.choice(_INT_STABLE),)
+        if remaining > 0:
+            self._loop_counters[block.index] = remaining
+            target_block = self._blocks[block.target_index]
+            uop = self._emit(pc, OpClass.BRANCH, srcs, None, taken=True,
+                             target=target_block.base_pc)
+            return uop, block.target_index
+        self._loop_counters.pop(block.index, None)
+        uop = self._emit(pc, OpClass.BRANCH, srcs, None, taken=False)
+        return uop, fall_index
+
+    # -- public API ------------------------------------------------------------
+
+    def prewarm(self, hierarchy) -> None:
+        """Warm the caches with this workload's resident working set.
+
+        Stands in for the paper's 2-billion-instruction fast-forward:
+        the code footprint is installed in the L1 I-cache, the hot data
+        region in L1D + L2, and the warm region in L2.  The cold region
+        streams and stays uncached by design.
+        """
+        p = self.profile
+        hierarchy.prewarm_data_region(_HOT_BASE, p.hot_bytes, into_l1=True)
+        hierarchy.prewarm_data_region(_WARM_BASE, p.warm_bytes)
+        last = self._blocks[-1]
+        code_bytes = (last.branch_pc + 4) - self.code_base
+        line = hierarchy.l1i.line_bytes
+        for addr in range(self.code_base, self.code_base + code_bytes, line):
+            hierarchy.l1i.preload(addr)
+            hierarchy.l2.preload(addr)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        index = 0
+        while True:
+            block = self._blocks[index]
+            pc = block.base_pc
+            for _ in range(block.body_len):
+                yield self._body_op(pc)
+                pc += 4
+            uop, index = self._branch_op(block)
+            yield uop
+
+
+def generate_trace(profile: BenchmarkProfile, count: int,
+                   seed: Optional[int] = None) -> List[MicroOp]:
+    """First ``count`` micro-ops of the profile's synthetic stream."""
+    gen = iter(SyntheticTraceGenerator(profile, seed=seed))
+    return [next(gen) for _ in range(count)]

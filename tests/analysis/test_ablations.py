@@ -1,0 +1,45 @@
+"""Ablation harnesses (uses the shared session runner)."""
+
+import pytest
+
+from repro.analysis import (
+    ablation_dcg_components,
+    ablation_fu_priority,
+    ablation_plb_window,
+    ablation_store_policy,
+)
+
+_BENCHES = ("gzip", "mcf")
+
+
+def test_fu_priority_ablation(runner):
+    result = ablation_fu_priority(runner, benchmarks=_BENCHES)
+    assert len(result.rows) == 2
+    # the §3.1 argument: sequential priority toggles less
+    assert (result.measured["seq_toggles_per_kcycle"]
+            < result.measured["rr_toggles_per_kcycle"])
+
+
+def test_store_policy_ablation(runner):
+    result = ablation_store_policy(runner, benchmarks=_BENCHES)
+    assert result.measured["mean_store_delay_slowdown"] < 0.05
+    assert result.paper["mean_store_delay_slowdown"] == 0.0
+
+
+def test_component_ablation_sums(runner):
+    result = ablation_dcg_components(runner, benchmarks=_BENCHES)
+    m = result.measured
+    parts = (m["units-only"] + m["latches-only"]
+             + m["dcache-only"] + m["bus-only"])
+    assert parts == pytest.approx(m["full"], abs=0.03)
+    assert all(m[k] > 0 for k in ("units-only", "latches-only",
+                                  "dcache-only", "bus-only"))
+
+
+def test_plb_window_ablation(runner):
+    result = ablation_plb_window(runner, windows=(128, 512),
+                                 benchmarks=_BENCHES)
+    m = result.measured
+    for window in (128, 512):
+        assert 0.0 < m[f"saving_w{window}"] < 1.0
+        assert 0.7 < m[f"perf_w{window}"] <= 1.01

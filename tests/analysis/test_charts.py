@@ -1,0 +1,72 @@
+"""Text bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, figure_chart
+from repro.analysis.experiments import ExperimentResult
+
+
+def test_basic_chart():
+    text = bar_chart(["a", "b"], [[0.5, 1.0]], ["dcg"], width=10)
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "50.0%" in lines[0]
+    assert "100.0%" in lines[2]
+    # the full-scale bar is exactly `width` full cells
+    assert "█" * 10 in lines[2]
+    assert "█" * 5 in lines[0]
+
+
+def test_grouped_series_share_label_column():
+    text = bar_chart(["bench"], [[0.2], [0.4]], ["dcg", "plb"])
+    lines = text.splitlines()
+    assert lines[0].startswith("bench")
+    assert lines[1].startswith("      ")   # continuation row, blank label
+
+
+def test_scale_override():
+    text = bar_chart(["x"], [[0.25]], ["s"], width=8, max_value=0.5)
+    assert "████" in text   # 0.25/0.5 of 8 cells
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="lengths differ"):
+        bar_chart(["a"], [[1.0]], ["s1", "s2"])
+    with pytest.raises(ValueError, match="label count"):
+        bar_chart(["a", "b"], [[1.0]], ["s"])
+
+
+def test_empty():
+    assert bar_chart([], [], []) == ""
+
+
+def test_values_clamped():
+    text = bar_chart(["x"], [[2.0]], ["s"], width=4, max_value=1.0)
+    assert "█████" not in text
+
+
+def test_figure_chart_from_result():
+    result = ExperimentResult(
+        "fig12", "integer unit power savings",
+        ["benchmark", "suite", "DCG", "PLB-ext"],
+        rows=[["gzip", "int", "74.3%", "7.4%"],
+              ["mcf", "int", "97.5%", "48.9%"]])
+    text = figure_chart(result)
+    assert text.startswith("fig12:")
+    assert "gzip" in text and "mcf" in text
+    assert "74.3%" in text and "48.9%" in text
+
+
+def test_figure_chart_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="not a chartable"):
+        figure_chart(ExperimentResult("x", "t", ["only", "two"]))
+    bad = ExperimentResult("x", "t", ["benchmark", "suite", "DCG"],
+                           rows=[["gzip", "int", 0.5]])
+    with pytest.raises(ValueError, match="not a percent"):
+        figure_chart(bad)
+
+
+def test_live_figure_renders(runner):
+    from repro.analysis import fig16_result_bus
+    text = figure_chart(fig16_result_bus(runner))
+    assert "lucas" in text

@@ -1,0 +1,55 @@
+"""Figure harness structure (uses the shared session runner)."""
+
+import pytest
+
+from repro.analysis import (
+    fig10_total_power,
+    fig12_int_units,
+    fig17_deep_pipeline,
+    run_all_experiments,
+    sec44_int_alu_sweep,
+)
+from repro.workloads import ALL_BENCHMARKS
+
+
+def test_fig10_structure(runner):
+    result = fig10_total_power(runner)
+    assert result.figure_id == "fig10"
+    assert len(result.rows) == len(ALL_BENCHMARKS)
+    assert {"dcg_int", "dcg_fp", "plb_orig_int", "plb_ext_fp"} <= set(
+        result.measured)
+    assert result.paper["dcg_all"] == pytest.approx(0.199)
+    for key, value in result.measured.items():
+        assert 0.0 <= value <= 1.0, key
+
+
+def test_fig10_render_mentions_paper(runner):
+    text = fig10_total_power(runner).render()
+    assert "paper:" in text
+    assert "gzip" in text and "lucas" in text
+
+
+def test_fig12_rows_have_both_policies(runner):
+    result = fig12_int_units(runner)
+    for row in result.rows:
+        assert len(row) == 4
+        assert row[1] in ("int", "fp")
+
+
+def test_fig17_uses_deep_config(runner):
+    result = fig17_deep_pipeline(runner)
+    assert {"dcg_8stage", "dcg_20stage"} <= set(result.measured)
+
+
+def test_sec44_relative_performance_bounded(runner):
+    result = sec44_int_alu_sweep(runner)
+    # fewer ALUs can only slow the machine down (or leave it unchanged)
+    assert result.measured["worst_rel_6"] <= 1.0 + 1e-9
+    assert result.measured["worst_rel_4"] <= result.measured["worst_rel_6"] + 1e-9
+
+
+def test_run_all_returns_every_figure(runner):
+    results = run_all_experiments(runner)
+    ids = [r.figure_id for r in results]
+    assert ids == ["sec4.4", "fig10", "fig11", "fig12", "fig13",
+                   "fig14", "fig15", "fig16", "fig17"]

@@ -1,0 +1,49 @@
+"""Markdown report generation."""
+
+from repro.analysis import render_markdown_report
+from repro.analysis.experiments import ExperimentResult
+
+
+def _result():
+    result = ExperimentResult(
+        "fig10", "total power savings",
+        ["benchmark", "DCG"],
+        rows=[["gzip", "23.4%"], ["mcf", "29.0%"]],
+        measured={"dcg_all": 0.239, "odd_metric": 0.5},
+        paper={"dcg_all": 0.199})
+    return result
+
+
+def test_report_contains_tables_and_comparison():
+    text = render_markdown_report([_result()], instructions=8000)
+    assert "# EXPERIMENTS" in text
+    assert "| benchmark | DCG |" in text
+    assert "| gzip | 23.4% |" in text
+    assert "**8000**" in text
+    # paper comparison with closeness note
+    assert "| dcg_all | 23.9% | 19.9% | within 4.0% of paper |" in text
+    # metric with no paper value gets an em-dash
+    assert "| odd_metric | 50.0% | — | — |" in text
+
+
+def test_report_flags_large_deviation():
+    result = _result()
+    result.measured["dcg_all"] = 0.45
+    text = render_markdown_report([result], instructions=100)
+    assert "deviates by" in text
+
+
+def test_elapsed_line_optional():
+    with_time = render_markdown_report([_result()], 100, elapsed_seconds=12.0)
+    without = render_markdown_report([_result()], 100)
+    assert "wall-clock" in with_time
+    assert "wall-clock" not in without
+
+
+def test_write_experiments_md(tmp_path, runner):
+    """End-to-end write with the session runner (results cached)."""
+    from repro.analysis import write_experiments_md
+    path = tmp_path / "EXPERIMENTS.md"
+    text = write_experiments_md(str(path), runner)
+    assert path.read_text().startswith("# EXPERIMENTS")
+    assert "fig17" in text

@@ -1,0 +1,32 @@
+"""Table formatting."""
+
+import pytest
+
+from repro.analysis import format_table, pct
+
+
+def test_pct():
+    assert pct(0.199) == "19.9%"
+    assert pct(1.0) == "100.0%"
+    assert pct(0.1234, digits=2) == "12.34%"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["a", 1], ["longer", 2.5]], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # all rows share the same width
+    assert len(lines[3]) == len(lines[4]) or lines[3].rstrip() != ""
+
+
+def test_format_table_cell_types():
+    text = format_table(["a"], [[0.5], [7], ["x"]])
+    assert "0.500" in text and "7" in text and "x" in text
+
+
+def test_row_length_mismatch():
+    with pytest.raises(ValueError, match="expected 2"):
+        format_table(["a", "b"], [["only-one"]])

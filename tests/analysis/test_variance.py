@@ -1,0 +1,53 @@
+"""Seed-variance study."""
+
+import pytest
+
+from repro.analysis import (
+    SeedVariance,
+    render_variance_table,
+    seed_variance_study,
+)
+
+
+def test_study_structure():
+    study = seed_variance_study(benchmarks=("gzip",), seeds=(1, 2, 3),
+                                instructions=1200)
+    assert set(study) == {"gzip"}
+    var = study["gzip"]
+    assert len(var.savings) == 3
+    assert len(var.ipcs) == 3
+    assert 0.0 < var.mean_saving < 1.0
+    assert var.std_saving >= 0.0
+
+
+def test_seeds_actually_vary():
+    study = seed_variance_study(benchmarks=("gzip",), seeds=(1, 2, 3, 4),
+                                instructions=1200)
+    savings = study["gzip"].savings
+    assert len(set(savings)) > 1
+
+
+def test_spread_is_small():
+    """Short stationary runs must be representative: DCG's saving
+    varies only slightly across seeds (DESIGN.md §7 rationale)."""
+    study = seed_variance_study(benchmarks=("gzip", "swim"),
+                                seeds=(1, 2, 3, 4), instructions=2000)
+    for bench, var in study.items():
+        assert var.relative_spread < 0.15, bench
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        seed_variance_study(benchmarks=("crysis",), seeds=(1,))
+
+
+def test_render_table():
+    var = SeedVariance("gzip", [0.20, 0.22], [2.0, 2.1])
+    text = render_variance_table({"gzip": var})
+    assert "gzip" in text and "21.0%" in text
+
+
+def test_single_seed_std_zero():
+    var = SeedVariance("x", [0.2], [1.0])
+    assert var.std_saving == 0.0
+    assert var.relative_spread == 0.0

@@ -1,0 +1,169 @@
+"""Branch prediction components."""
+
+import pytest
+
+from repro.frontend import (
+    BranchPredictor,
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    TwoLevelPredictor,
+)
+
+
+class TestTwoLevel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(l1_entries=1000)   # not a power of two
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=0)
+
+    def test_learns_always_taken(self):
+        pred = TwoLevelPredictor()
+        pc = 0x400
+        for _ in range(8):
+            pred.update(pc, True)
+        assert pred.predict(pc) is True
+
+    def test_learns_always_not_taken(self):
+        pred = TwoLevelPredictor()
+        pc = 0x400
+        for _ in range(8):
+            pred.update(pc, False)
+        assert pred.predict(pc) is False
+
+    def test_learns_alternating_pattern(self):
+        """Two-level history predictors capture short periodic patterns
+        that a simple bimodal predictor cannot."""
+        pred = TwoLevelPredictor()
+        pc = 0x800
+        pattern = [True, False]
+        # train
+        for i in range(200):
+            pred.update(pc, pattern[i % 2])
+        # measure
+        correct = 0
+        for i in range(200, 240):
+            outcome = pattern[i % 2]
+            if pred.predict(pc) == outcome:
+                correct += 1
+            pred.update(pc, outcome)
+        assert correct >= 38
+
+    def test_learns_loop_exit_pattern(self):
+        """Taken (n-1) times then not-taken once, period 4."""
+        pred = TwoLevelPredictor()
+        pc = 0xC00
+        outcomes = [True, True, True, False]
+        for i in range(400):
+            pred.update(pc, outcomes[i % 4])
+        correct = 0
+        for i in range(400, 480):
+            outcome = outcomes[i % 4]
+            if pred.predict(pc) == outcome:
+                correct += 1
+            pred.update(pc, outcome)
+        assert correct >= 76
+
+
+class TestBTB:
+    def test_lookup_miss(self):
+        btb = BranchTargetBuffer(entries=64, assoc=4)
+        assert btb.lookup(0x400) is None
+
+    def test_update_then_lookup(self):
+        btb = BranchTargetBuffer(entries=64, assoc=4)
+        btb.update(0x400, 0x999)
+        assert btb.lookup(0x400) == 0x999
+
+    def test_target_overwrite(self):
+        btb = BranchTargetBuffer(entries=64, assoc=4)
+        btb.update(0x400, 0x999)
+        btb.update(0x400, 0x555)
+        assert btb.lookup(0x400) == 0x555
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)   # 4 sets
+        sets = btb.num_sets
+        pcs = [0x400 + 4 * sets * i for i in range(3)]  # same set
+        btb.update(pcs[0], 1)
+        btb.update(pcs[1], 2)
+        btb.lookup(pcs[0])        # refresh
+        btb.update(pcs[2], 3)     # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=4)
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert len(ras) == 2
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+
+class TestCombined:
+    def test_taken_without_btb_target_treated_not_taken(self):
+        pred = BranchPredictor()
+        pc = 0x400
+        for _ in range(4):
+            pred.direction.update(pc, True)
+        taken, target = pred.predict(pc)
+        assert taken is False and target is None
+        assert pred.stats.btb_misses == 1
+
+    def test_taken_with_btb_target(self):
+        pred = BranchPredictor()
+        pc = 0x400
+        for _ in range(4):
+            pred.resolve(pc, False, None, True, 0x800)
+        taken, target = pred.predict(pc)
+        assert taken is True and target == 0x800
+
+    def test_resolve_counts_direction_mispredict(self):
+        pred = BranchPredictor()
+        assert pred.resolve(0x400, True, 0x800, False, None) is True
+        assert pred.stats.dir_wrong == 1
+        assert pred.stats.mispredict_rate == 1.0
+
+    def test_resolve_counts_target_mispredict(self):
+        pred = BranchPredictor()
+        assert pred.resolve(0x400, True, 0x800, True, 0x900) is True
+        assert pred.stats.target_wrong == 1
+
+    def test_resolve_correct(self):
+        pred = BranchPredictor()
+        assert pred.resolve(0x400, True, 0x800, True, 0x800) is False
+        assert pred.stats.accuracy == 1.0
+
+    def test_steady_loop_gets_high_accuracy(self):
+        pred = BranchPredictor()
+        pc, target = 0x400, 0x300
+        outcomes = [True] * 9 + [False]
+        wrong = 0
+        for i in range(600):
+            actual = outcomes[i % 10]
+            ptaken, ptarget = pred.predict(pc)
+            wrong += pred.resolve(pc, ptaken, ptarget, actual,
+                                  target if actual else None)
+        assert wrong / 600 < 0.2

@@ -1,0 +1,35 @@
+"""Whole-stack reproducibility and cross-policy consistency."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_identical_runs_are_bit_identical():
+    a = Simulator().run_benchmark("twolf", "dcg", instructions=2000)
+    b = Simulator().run_benchmark("twolf", "dcg", instructions=2000)
+    assert a.cycles == b.cycles
+    assert a.total_saving == pytest.approx(b.total_saving, abs=0.0)
+    assert a.family_savings == b.family_savings
+    assert a.fu_toggles == b.fu_toggles
+
+
+def test_policies_see_identical_workload():
+    """base and DCG runs must execute the same instruction stream: the
+    per-class commit counts must match exactly."""
+    sim = Simulator()
+    base = sim.run_benchmark("equake", "base", instructions=2000)
+    dcg = sim.run_benchmark("equake", "dcg", instructions=2000)
+    assert base.stats.commit_class_counts == dcg.stats.commit_class_counts
+    assert base.stats.mispredicts == dcg.stats.mispredicts
+
+
+def test_power_conservation():
+    """Consumed power plus saved power equals base power, per run."""
+    sim = Simulator()
+    for policy in ("dcg", "plb-orig", "plb-ext"):
+        result = sim.run_benchmark("ammp", policy, instructions=1500)
+        reconstructed = result.average_power / result.base_power
+        assert reconstructed == pytest.approx(1.0 - result.total_saving,
+                                              rel=1e-9)
+        assert 0.0 < reconstructed <= 1.0

@@ -1,0 +1,151 @@
+"""Two-pass assembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    DATA_BASE,
+    TEXT_BASE,
+    assemble,
+)
+from repro.trace import OpClass
+
+
+def test_simple_program():
+    program = assemble("""
+    main: li r1, 5
+          addi r2, r1, 3
+          halt
+    """)
+    assert len(program) == 3
+    assert program.entry == TEXT_BASE
+    inst = program.instructions[1]
+    assert inst.mnemonic == "addi"
+    assert inst.dest == 2 and inst.srcs == (1,) and inst.imm == 3
+
+
+def test_label_resolution_forward_and_backward():
+    program = assemble("""
+    main: j fwd
+    back: halt
+    fwd:  j back
+    """)
+    j_fwd, halt, j_back = program.instructions
+    assert j_fwd.target == program.labels["fwd"]
+    assert j_back.target == program.labels["back"]
+
+
+def test_data_directives():
+    program = assemble("""
+    .data
+    a:  .word 1, 2, 3
+    b:  .double 1.5
+    c:  .space 16
+    d:  .word 7
+    .text
+    main: halt
+    """)
+    assert program.labels["a"] == DATA_BASE
+    assert program.data[DATA_BASE + 8] == 2
+    assert program.data[program.labels["b"]] == 1.5
+    # .space reserves 16 bytes between b (8 bytes) and d
+    assert program.labels["d"] == program.labels["b"] + 8 + 16
+    assert program.data[program.labels["d"]] == 7
+
+
+def test_label_as_displacement():
+    program = assemble("""
+    .data
+    vec: .word 10
+    .text
+    main: ld r1, vec(r0)
+          halt
+    """)
+    ld = program.instructions[0]
+    assert ld.imm == program.labels["vec"]
+
+
+def test_memory_operand_parsing():
+    program = assemble("main: st r2, -8(r3)\n halt")
+    st_inst = program.instructions[0]
+    assert st_inst.imm == -8
+    assert st_inst.srcs == (3, 2)   # (base, data)
+
+
+def test_fp_register_class_enforced():
+    with pytest.raises(AssemblerError):
+        assemble("main: fadd f1, f2, r3")
+    with pytest.raises(AssemblerError):
+        assemble("main: add r1, f2, r3")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate label"):
+        assemble("a: nop\na: nop")
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError, match="unknown mnemonic"):
+        assemble("main: frobnicate r1, r2, r3")
+
+
+def test_undefined_symbol():
+    with pytest.raises(AssemblerError, match="undefined symbol"):
+        assemble("main: j nowhere")
+
+
+def test_operand_count_checked():
+    with pytest.raises(AssemblerError, match="expects 3"):
+        assemble("main: add r1, r2")
+
+
+def test_instruction_outside_text_rejected():
+    with pytest.raises(AssemblerError, match="outside .text"):
+        assemble(".data\nadd r1, r2, r3")
+
+
+def test_word_outside_data_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n.word 1")
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+    # leading comment
+
+    main: nop   # trailing comment
+          halt
+    """)
+    assert len(program) == 2
+
+
+def test_entry_label_fallback():
+    program = assemble("start: halt", entry="main")
+    assert program.entry == TEXT_BASE
+
+
+def test_branch_ops_classified():
+    program = assemble("""
+    main: beq r1, r2, main
+          jal main
+          jr r31
+          halt
+    """)
+    classes = [inst.spec.op_class for inst in program.instructions]
+    assert classes[:3] == [OpClass.BRANCH] * 3
+
+
+def test_listing_roundtrip_mentions_labels():
+    program = assemble("main: addi r1, r0, 1\nloop: blt r0, r1, loop\nhalt")
+    listing = program.listing()
+    assert "main:" in listing and "loop:" in listing
+    assert "blt r0, r1, loop" in listing
+
+
+def test_instruction_addresses_sequential():
+    program = assemble("main: nop\nnop\nnop\nhalt")
+    addrs = [inst.addr for inst in program.instructions]
+    assert addrs == [TEXT_BASE + 4 * i for i in range(4)]
+    assert program.instruction_at(TEXT_BASE + 4).mnemonic == "nop"
+    assert program.instruction_at(TEXT_BASE + 2) is None
+    assert program.instruction_at(TEXT_BASE + 400) is None

@@ -1,0 +1,166 @@
+"""Functional simulator semantics."""
+
+import pytest
+
+from repro.isa import (
+    ExecutionError,
+    FunctionalSimulator,
+    assemble,
+    run_program,
+    trace_program,
+)
+from repro.trace import OpClass
+
+
+def _run_and_get(src, reg):
+    return run_program(assemble(src)).regs[reg]
+
+
+def test_arithmetic():
+    assert _run_and_get("main: li r1, 7\n li r2, 5\n add r3, r1, r2\n halt", 3) == 12
+    assert _run_and_get("main: li r1, 7\n li r2, 5\n sub r3, r1, r2\n halt", 3) == 2
+    assert _run_and_get("main: li r1, 7\n li r2, 5\n mul r3, r1, r2\n halt", 3) == 35
+
+
+def test_division_semantics():
+    assert _run_and_get("main: li r1, 17\n li r2, 5\n div r3, r1, r2\n halt", 3) == 3
+    assert _run_and_get("main: li r1, -17\n li r2, 5\n div r3, r1, r2\n halt", 3) == -3
+    assert _run_and_get("main: li r1, 17\n li r2, 5\n rem r3, r1, r2\n halt", 3) == 2
+
+
+def test_division_by_zero():
+    with pytest.raises(ExecutionError, match="division by zero"):
+        run_program(assemble("main: li r1, 1\n div r2, r1, r0\n halt"))
+
+
+def test_logic_and_shifts():
+    assert _run_and_get("main: li r1, 12\n li r2, 10\n and r3, r1, r2\n halt", 3) == 8
+    assert _run_and_get("main: li r1, 12\n li r2, 10\n or r3, r1, r2\n halt", 3) == 14
+    assert _run_and_get("main: li r1, 12\n li r2, 10\n xor r3, r1, r2\n halt", 3) == 6
+    assert _run_and_get("main: li r1, 3\n slli r2, r1, 4\n halt", 2) == 48
+    assert _run_and_get("main: li r1, 48\n srli r2, r1, 4\n halt", 2) == 3
+
+
+def test_comparison():
+    assert _run_and_get("main: li r1, 3\n li r2, 5\n slt r3, r1, r2\n halt", 3) == 1
+    assert _run_and_get("main: li r1, 5\n li r2, 3\n slt r3, r1, r2\n halt", 3) == 0
+
+
+def test_64bit_wraparound():
+    value = _run_and_get(
+        "main: li r1, 0x7fffffffffffffff\n addi r2, r1, 1\n halt", 2)
+    assert value == -(1 << 63)
+
+
+def test_zero_register_ignores_writes():
+    assert _run_and_get("main: li r0, 99\n add r1, r0, r0\n halt", 1) == 0
+
+
+def test_memory_roundtrip():
+    sim = run_program(assemble("""
+    .data
+    buf: .space 64
+    .text
+    main: li r1, 1234
+          st r1, buf(r0)
+          ld r2, buf(r0)
+          halt
+    """))
+    assert sim.regs[2] == 1234
+
+
+def test_unaligned_access_rejected():
+    with pytest.raises(ExecutionError, match="unaligned"):
+        run_program(assemble("main: li r1, 3\n ld r2, 0(r1)\n halt"))
+
+
+def test_branches():
+    sim = run_program(assemble("""
+    main: li r1, 0
+          li r2, 10
+    loop: addi r1, r1, 1
+          blt r1, r2, loop
+          halt
+    """))
+    assert sim.regs[1] == 10
+
+
+def test_jal_and_jr():
+    sim = run_program(assemble("""
+    main: jal func
+          li r2, 1
+          halt
+    func: li r1, 42
+          jr r31
+    """))
+    assert sim.regs[1] == 42
+    assert sim.regs[2] == 1
+
+
+def test_fp_operations():
+    sim = run_program(assemble("""
+    .data
+    x: .double 1.5
+    y: .double 2.5
+    .text
+    main: fld f1, x(r0)
+          fld f2, y(r0)
+          fadd f3, f1, f2
+          fmul f4, f1, f2
+          fdiv f5, f2, f1
+          fmin f6, f1, f2
+          fmax f7, f1, f2
+          halt
+    """))
+    assert sim.regs[32 + 3] == 4.0
+    assert sim.regs[32 + 4] == 3.75
+    assert sim.regs[32 + 5] == 2.5 / 1.5
+    assert sim.regs[32 + 6] == 1.5
+    assert sim.regs[32 + 7] == 2.5
+
+
+def test_runaway_guard():
+    with pytest.raises(ExecutionError, match="max_instructions"):
+        run_program(assemble("main: j main"), max_instructions=100)
+
+
+def test_pc_off_text_rejected():
+    # program without halt runs off the end of the text segment
+    with pytest.raises(ExecutionError, match="outside text"):
+        run_program(assemble("main: nop"))
+
+
+def test_trace_records_outcomes():
+    ops = list(trace_program(assemble("""
+    .data
+    v: .word 5
+    .text
+    main: ld r1, v(r0)
+          beq r1, r0, main
+          halt
+    """)))
+    assert [op.op_class for op in ops] == [OpClass.LOAD, OpClass.BRANCH,
+                                           OpClass.NOP]
+    load, branch, _ = ops
+    assert load.mem_addr is not None
+    assert branch.taken is False
+    assert [op.seq for op in ops] == [0, 1, 2]
+
+
+def test_trace_pc_chain_consistent():
+    ops = list(trace_program(assemble("""
+    main: li r1, 0
+          li r2, 3
+    loop: addi r1, r1, 1
+          blt r1, r2, loop
+          halt
+    """)))
+    for prev, nxt in zip(ops, ops[1:]):
+        assert nxt.pc == prev.next_pc
+
+
+def test_step_after_halt_returns_none():
+    sim = FunctionalSimulator(assemble("main: halt"))
+    assert sim.step() is not None
+    assert sim.halted
+    assert sim.step() is None

@@ -1,0 +1,76 @@
+"""Assembly kernels compute correct results."""
+
+import pytest
+
+from repro.isa import assemble, run_program
+from repro.isa.program import DATA_BASE
+from repro.workloads.kernels import (
+    KERNELS,
+    dot_product,
+    fibonacci,
+    linked_list_walk,
+    matmul,
+    saxpy,
+    vector_sum,
+)
+
+
+def test_vector_sum():
+    sim = run_program(assemble(vector_sum(32)))
+    assert sim.regs[1] == sum(range(32))
+
+
+def test_dot_product():
+    n = 16
+    sim = run_program(assemble(dot_product(n)))
+    expected = sum((i + 1) * (2 * i + 1) for i in range(n))
+    assert sim.regs[1] == expected
+
+
+def test_fibonacci():
+    sim = run_program(assemble(fibonacci(15)))
+    fibs = [0, 1]
+    for _ in range(15):
+        fibs.append(fibs[-1] + fibs[-2])
+    assert sim.regs[1] == fibs[15]
+
+
+def test_matmul_entries():
+    n = 4
+    sim = run_program(assemble(matmul(n)))
+    a = [[i + j for j in range(n)] for i in range(n)]
+    b = [[i * j for j in range(n)] for i in range(n)]
+    program = assemble(matmul(n))
+    c_base = program.labels["matc"]
+    for i in range(n):
+        for j in range(n):
+            expected = sum(a[i][k] * b[k][j] for k in range(n))
+            assert sim.memory[c_base + 8 * (i * n + j)] == expected
+
+
+def test_linked_list_walk_checksum():
+    nodes, hops = 16, 64
+    sim = run_program(assemble(linked_list_walk(nodes, hops)))
+    # replicate the walk in Python
+    succ = [(i * 7 + 3) % nodes for i in range(nodes)]
+    checksum, node = 0, 0
+    for _ in range(hops):
+        checksum += node
+        node = succ[node]
+    assert sim.regs[1] == checksum
+
+
+def test_saxpy_memory_result():
+    n = 8
+    program = assemble(saxpy(n))
+    sim = run_program(program)
+    y_base = program.labels["yvec"]
+    for i in range(n):
+        assert sim.memory[y_base + 8 * i] == pytest.approx(1.5 * i + 2.0 * i)
+
+
+def test_all_kernels_terminate():
+    for name, factory in KERNELS.items():
+        sim = run_program(assemble(factory()))
+        assert sim.halted, name
+        assert sim.retired > 0, name

@@ -1,0 +1,50 @@
+"""Opcode table invariants."""
+
+import pytest
+
+from repro.isa import OPCODES, lookup
+from repro.trace import OpClass
+
+_VALID_FORMATS = {"R", "I", "LI", "LD", "ST", "BR", "J", "JR", "N"}
+
+
+def test_lookup_known():
+    assert lookup("add").op_class is OpClass.IALU
+    assert lookup("FMUL").op_class is OpClass.FPMUL   # case-insensitive
+
+
+def test_lookup_unknown():
+    with pytest.raises(KeyError, match="unknown mnemonic"):
+        lookup("bogus")
+
+
+def test_all_formats_valid():
+    for spec in OPCODES.values():
+        assert spec.fmt in _VALID_FORMATS, spec.mnemonic
+
+
+def test_mnemonic_key_consistency():
+    for mnemonic, spec in OPCODES.items():
+        assert spec.mnemonic == mnemonic
+
+
+def test_memory_ops_use_memory_formats():
+    for spec in OPCODES.values():
+        if spec.op_class is OpClass.LOAD:
+            assert spec.fmt == "LD"
+        if spec.op_class is OpClass.STORE:
+            assert spec.fmt == "ST"
+
+
+def test_control_flow_flags():
+    assert lookup("jal").is_link and lookup("jal").is_jump
+    assert lookup("jr").is_jump and not lookup("jr").is_link
+    assert lookup("halt").is_halt
+    assert not lookup("beq").is_jump
+
+
+def test_fp_operand_flags():
+    for name in ("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax", "fld", "fst"):
+        assert lookup(name).fp_operands, name
+    for name in ("add", "ld", "st", "beq"):
+        assert not lookup(name).fp_operands, name

@@ -1,0 +1,58 @@
+"""Register namespace and parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    NUM_ARCH_REGS,
+    NUM_INT_REGS,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    parse_register,
+    reg_name,
+)
+
+
+def test_flat_numbering():
+    assert int_reg(0) == 0
+    assert int_reg(31) == 31
+    assert fp_reg(0) == 32
+    assert fp_reg(31) == 63
+    assert NUM_ARCH_REGS == 64
+
+
+def test_out_of_range():
+    with pytest.raises(ValueError):
+        int_reg(32)
+    with pytest.raises(ValueError):
+        fp_reg(-1)
+    with pytest.raises(ValueError):
+        is_fp_reg(64)
+
+
+def test_parse_non_register_returns_none():
+    for token in ("42", "loop", "", "rx", "r", "f", "r1x"):
+        assert parse_register(token) is None
+
+
+def test_parse_out_of_range_register_raises():
+    with pytest.raises(ValueError):
+        parse_register("r32")
+    with pytest.raises(ValueError):
+        parse_register("f99")
+
+
+def test_parse_case_and_whitespace():
+    assert parse_register(" R5 ") == 5
+    assert parse_register("F3") == fp_reg(3)
+
+
+@given(st.integers(0, NUM_ARCH_REGS - 1))
+def test_name_parse_roundtrip(name):
+    assert parse_register(reg_name(name)) == name
+
+
+@given(st.integers(0, NUM_ARCH_REGS - 1))
+def test_is_fp_matches_numbering(name):
+    assert is_fp_reg(name) == (name >= NUM_INT_REGS)

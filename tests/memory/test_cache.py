@@ -1,0 +1,137 @@
+"""Set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache, MainMemory
+
+
+def _l1(parent=None, assoc=2, size=1024, line=64, lat=2):
+    return Cache("L1", size, assoc, line, lat, parent=parent)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache("x", 1024, 2, 60, 1)      # line not power of two
+    with pytest.raises(ValueError):
+        Cache("x", 1000, 2, 64, 1)      # size not divisible
+    with pytest.raises(ValueError):
+        Cache("x", 1024, 0, 64, 1)      # zero assoc
+
+
+def test_miss_then_hit():
+    cache = _l1()
+    assert cache.access(0x100) == 2      # miss without parent costs hit_latency
+    assert cache.access(0x100) == 2      # now resident
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_same_line_hits():
+    cache = _l1()
+    cache.access(0x100)
+    assert cache.stats.misses == 1
+    cache.access(0x13F)   # same 64B line
+    assert cache.stats.hits == 1
+
+
+def test_miss_goes_to_parent():
+    memory = MainMemory(latency=100, bus_bytes=32, transfer_bytes=64)
+    cache = _l1(parent=memory)
+    assert cache.access(0) == 101        # 100 + one extra bus beat
+    assert memory.accesses == 1
+    assert cache.access(0) == 2
+    assert memory.accesses == 1
+
+
+def test_lru_eviction():
+    # one set: size = assoc * line
+    cache = Cache("tiny", 2 * 64, 2, 64, 1)
+    a, b, c = 0, 64, 128   # all map to set 0
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)        # refresh a; b becomes LRU
+    cache.access(c)        # evicts b
+    assert cache.contains(a) and cache.contains(c)
+    assert not cache.contains(b)
+
+
+def test_writeback_counted_on_dirty_eviction():
+    cache = Cache("tiny", 2 * 64, 2, 64, 1)
+    cache.access(0, is_write=True)
+    cache.access(64)
+    cache.access(128)      # evicts the dirty line at 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = Cache("tiny", 2 * 64, 2, 64, 1)
+    cache.access(0)
+    cache.access(64)
+    cache.access(128)
+    assert cache.stats.writebacks == 0
+
+
+def test_write_hit_marks_dirty():
+    cache = Cache("tiny", 2 * 64, 2, 64, 1)
+    cache.access(0)                    # clean fill
+    cache.access(0, is_write=True)     # dirty the resident line
+    cache.access(64)
+    cache.access(128)                  # evict line 0
+    assert cache.stats.writebacks == 1
+
+
+def test_preload_is_invisible_to_stats():
+    cache = _l1()
+    cache.preload(0x200)
+    assert cache.stats.accesses == 0
+    assert cache.contains(0x200)
+    assert cache.access(0x200) == 2
+    assert cache.stats.hits == 1
+
+
+def test_flush():
+    cache = _l1()
+    cache.access(0x100)
+    cache.flush()
+    assert not cache.contains(0x100)
+    cache.access(0x100)
+    assert cache.stats.misses == 2
+
+
+def test_miss_rate():
+    cache = _l1()
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+
+class _ReferenceLRU:
+    """Oracle: per-set ordered list of resident line addresses."""
+
+    def __init__(self, num_sets, assoc, line):
+        self.num_sets, self.assoc, self.line = num_sets, assoc, line
+        self.sets = [[] for _ in range(num_sets)]
+
+    def access(self, addr):
+        line_addr = addr // self.line
+        entries = self.sets[line_addr % self.num_sets]
+        hit = line_addr in entries
+        if hit:
+            entries.remove(line_addr)
+        elif len(entries) >= self.assoc:
+            entries.pop(0)
+        entries.append(line_addr)
+        return hit
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(0, 2047), min_size=1, max_size=300))
+def test_lru_matches_reference_model(addresses):
+    cache = Cache("dut", 4 * 2 * 64, 2, 64, 1)   # 4 sets, 2-way
+    ref = _ReferenceLRU(cache.num_sets, 2, 64)
+    for addr in addresses:
+        before_hits = cache.stats.hits
+        cache.access(addr)
+        hit = cache.stats.hits > before_hits
+        assert hit == ref.access(addr)

@@ -1,0 +1,51 @@
+"""SimStats bookkeeping."""
+
+import pytest
+
+from repro.core import NoGatingPolicy
+from repro.pipeline import MachineConfig, Pipeline, SimStats
+from repro.trace import MicroOp, OpClass, TraceStream
+
+
+def test_fresh_stats_are_zero():
+    stats = SimStats()
+    assert stats.ipc == 0.0
+    assert stats.class_fraction(OpClass.IALU) == 0.0
+    assert stats.commit_class_counts == {}
+
+
+def test_note_commit_and_fractions():
+    stats = SimStats()
+    stats.committed = 4
+    for op_class in (OpClass.IALU, OpClass.IALU, OpClass.LOAD,
+                     OpClass.BRANCH):
+        kwargs = {"mem_addr": 8} if op_class is OpClass.LOAD else {}
+        stats.note_commit(MicroOp(0, 0, op_class, **kwargs))
+    assert stats.class_fraction(OpClass.IALU) == 0.5
+    assert stats.class_fraction(OpClass.LOAD) == 0.25
+    assert stats.class_fraction(OpClass.FPMUL) == 0.0
+
+
+def test_finalize_populates_derived_stats():
+    ops = [MicroOp(i, 0x1000 + 4 * i, OpClass.IALU, dest=4 + i % 8)
+           for i in range(200)]
+    pipe = Pipeline(MachineConfig(), TraceStream(ops), NoGatingPolicy())
+    for op in ops:
+        pipe.hierarchy.l1i.preload(op.pc)
+    stats = pipe.run()
+    assert stats.cycles > 0
+    assert stats.committed == 200
+    assert "L1D" in stats.cache_stats
+    assert stats.fu_utilization  # populated for exec classes
+    assert 0.0 <= stats.dcache_port_utilization <= 1.0
+    assert 0.0 <= stats.result_bus_utilization <= 1.0
+    assert stats.ipc == pytest.approx(200 / stats.cycles)
+
+
+def test_summary_contains_cache_lines():
+    ops = [MicroOp(0, 0x1000, OpClass.LOAD, dest=4, mem_addr=0x100000)]
+    pipe = Pipeline(MachineConfig(), TraceStream(ops), NoGatingPolicy())
+    stats = pipe.run()
+    text = stats.summary()
+    assert "L1D" in text
+    assert "miss_rate" in text

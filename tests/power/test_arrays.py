@@ -1,0 +1,76 @@
+"""Array and CAM capacitance models."""
+
+import pytest
+
+from repro.power import ArrayGeometry, ArrayPower, CAMPower
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ArrayGeometry(rows=0, cols=8)
+    with pytest.raises(ValueError):
+        ArrayGeometry(rows=8, cols=8, ports=0)
+
+
+def test_address_bits():
+    assert ArrayGeometry(rows=512, cols=8).address_bits == 9
+    assert ArrayGeometry(rows=1, cols=8).address_bits == 1
+
+
+def test_decoder_cap_grows_with_rows():
+    small = ArrayPower(ArrayGeometry(rows=64, cols=128))
+    big = ArrayPower(ArrayGeometry(rows=1024, cols=128))
+    assert big.decoder_cap() > small.decoder_cap()
+
+
+def test_wordline_cap_grows_with_cols():
+    narrow = ArrayPower(ArrayGeometry(rows=64, cols=64))
+    wide = ArrayPower(ArrayGeometry(rows=64, cols=512))
+    assert wide.wordline_cap() > narrow.wordline_cap()
+
+
+def test_bitline_cap_grows_with_rows_and_ports():
+    base = ArrayPower(ArrayGeometry(rows=128, cols=64, ports=1))
+    taller = ArrayPower(ArrayGeometry(rows=512, cols=64, ports=1))
+    ported = ArrayPower(ArrayGeometry(rows=128, cols=64, ports=4))
+    assert taller.bitline_cap() > base.bitline_cap()
+    assert ported.bitline_cap() > base.bitline_cap()
+
+
+def test_port_scaling_of_power():
+    one = ArrayPower(ArrayGeometry(rows=128, cols=64, ports=1))
+    two = ArrayPower(ArrayGeometry(rows=128, cols=64, ports=2))
+    assert two.decoder_power() == pytest.approx(2 * two.decoder_power_per_port())
+    assert two.decoder_power_per_port() == pytest.approx(one.decoder_power())
+
+
+def test_decoder_fraction_bounded():
+    power = ArrayPower(ArrayGeometry(rows=512, cols=1024, ports=2))
+    frac = power.decoder_fraction()
+    assert 0.0 < frac < 1.0
+
+
+def test_access_power_positive():
+    power = ArrayPower(ArrayGeometry(rows=512, cols=1024, ports=2))
+    assert power.access_power() > 0
+    assert power.access_power() > power.decoder_power()
+
+
+def test_cam_validation():
+    with pytest.raises(ValueError):
+        CAMPower(entries=0, tag_bits=8)
+
+
+def test_cam_scaling():
+    small = CAMPower(entries=32, tag_bits=8)
+    big = CAMPower(entries=128, tag_bits=8)
+    wide = CAMPower(entries=32, tag_bits=32)
+    assert big.matchline_cap() > small.matchline_cap()
+    assert wide.tagline_cap() > small.tagline_cap()
+    assert big.compare_power() > small.compare_power()
+
+
+def test_cam_port_scaling():
+    one = CAMPower(entries=64, tag_bits=8, ports=1)
+    four = CAMPower(entries=64, tag_bits=8, ports=4)
+    assert four.compare_power() == pytest.approx(4 * one.compare_power())

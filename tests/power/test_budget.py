@@ -1,0 +1,90 @@
+"""Per-block power budget and calibration."""
+
+import pytest
+
+from repro.pipeline import MachineConfig
+from repro.pipeline.config import DEEP_DEPTH
+from repro.power import BlockPowers, FU_RELATIVE_WEIGHT, PowerCalibration
+from repro.trace import FUClass
+
+
+@pytest.fixture
+def blocks():
+    return BlockPowers(MachineConfig())
+
+
+def test_baseline_total_matches_calibration(blocks):
+    assert blocks.total == pytest.approx(blocks.calibration.total_watts)
+
+
+def test_breakdown_sums_to_total(blocks):
+    assert sum(blocks.breakdown().values()) == pytest.approx(blocks.total)
+
+
+def test_family_fractions(blocks):
+    total = blocks.total
+    cal = blocks.calibration
+    assert blocks.exec_units_total / total == pytest.approx(cal.frac_exec_units)
+    assert blocks.latch_total / total == pytest.approx(cal.frac_latches)
+    assert blocks.dcache_total / total == pytest.approx(cal.frac_dcache)
+    assert blocks.result_bus_total / total == pytest.approx(cal.frac_result_bus)
+
+
+def test_fu_weights_order(blocks):
+    fu = blocks.fu_instance
+    assert fu[FUClass.FP_MULT] > fu[FUClass.FP_ALU] > fu[FUClass.INT_ALU]
+    assert fu[FUClass.INT_MULT] > fu[FUClass.INT_ALU]
+    # ratios follow the published relative weights
+    ratio = fu[FUClass.FP_MULT] / fu[FUClass.INT_ALU]
+    assert ratio == pytest.approx(FU_RELATIVE_WEIGHT[FUClass.FP_MULT])
+
+
+def test_dcache_decoder_fraction_near_40pct(blocks):
+    # §5.4: wordline decoders are about 40 % of D-cache power
+    assert blocks.dcache_decoder_fraction == pytest.approx(0.40, abs=0.05)
+    per_port = blocks.dcache_decoder_per_port
+    assert per_port * 2 == pytest.approx(
+        blocks.dcache_total * blocks.dcache_decoder_fraction)
+
+
+def test_more_int_alus_costs_more_power():
+    base = BlockPowers(MachineConfig())
+    more = BlockPowers(MachineConfig().with_int_alus(8))
+    fewer = BlockPowers(MachineConfig().with_int_alus(4))
+    assert more.total > base.total > fewer.total
+    # per-instance power identical across configs
+    assert more.fu_instance == base.fu_instance
+
+
+def test_deep_pipeline_has_more_latch_power():
+    base = BlockPowers(MachineConfig())
+    deep = BlockPowers(MachineConfig(depth=DEEP_DEPTH))
+    assert deep.latch_total == pytest.approx(base.latch_total * 20 / 8)
+    assert deep.total > base.total
+    # latch share of total grows with depth (drives Fig 17)
+    assert (deep.latch_total / deep.total) > (base.latch_total / base.total)
+    assert deep.latch_gated_capacity > base.latch_gated_capacity
+
+
+def test_control_overhead_about_one_percent_of_latches(blocks):
+    overhead = blocks.dcg_control_overhead_watts
+    assert overhead == pytest.approx(0.01 * blocks.latch_total)
+
+
+def test_toggle_energy_small(blocks):
+    period = 1.0 / blocks.tech.frequency_hz
+    for cls, energy in blocks.fu_toggle_energy.items():
+        per_cycle = blocks.fu_instance[cls] * period
+        assert energy < 0.1 * per_cycle
+
+
+def test_calibration_validation():
+    with pytest.raises(ValueError):
+        PowerCalibration(total_watts=0)
+    with pytest.raises(ValueError):
+        PowerCalibration(frac_exec_units=0.9, frac_latches=0.9)
+
+
+def test_misc_fraction_fills_remainder():
+    cal = PowerCalibration()
+    assert cal.named_fraction_sum() + cal.frac_misc == pytest.approx(1.0)

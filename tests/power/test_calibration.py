@@ -1,0 +1,58 @@
+"""Baseline breakdown must sit in Wattch-era bands (DESIGN.md §6)."""
+
+import pytest
+
+from repro.pipeline import MachineConfig
+from repro.power import BlockPowers, PowerCalibration
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockPowers(MachineConfig())
+
+
+def test_clock_network_is_30_to_35_pct(blocks):
+    """[3]: total clock power is 30-35 % of processor power; in this
+    model that's the pipeline latches plus the global clock tree."""
+    breakdown = blocks.breakdown()
+    clock = breakdown["pipeline latches"] + breakdown["global clock tree"]
+    assert 0.28 <= clock / blocks.total <= 0.36
+
+
+def test_execution_units_band(blocks):
+    assert 0.10 <= blocks.exec_units_total / blocks.total <= 0.18
+
+
+def test_dcache_band(blocks):
+    assert 0.06 <= blocks.dcache_total / blocks.total <= 0.14
+
+
+def test_result_bus_band(blocks):
+    assert 0.005 <= blocks.result_bus_total / blocks.total <= 0.04
+
+
+def test_issue_queue_band(blocks):
+    assert 0.03 <= blocks.issue_queue / blocks.total <= 0.10
+
+
+def test_expected_dcg_ceiling_matches_paper_scale(blocks):
+    """Sanity-check the calibration against the paper's arithmetic:
+    with the §5 utilisations (int units ~35 % busy, FP ~0/77 %, latch
+    slots ~60 % busy, ports ~40 %, buses ~40 %), the component savings
+    must combine to roughly the paper's ~20 % total saving."""
+    total = blocks.total
+    exec_saving = 0.75 * blocks.exec_units_total
+    latch_saving = 0.40 * blocks.latch_total
+    dcache_saving = (0.60 * blocks.dcache_decoder_fraction
+                     * blocks.dcache_total)
+    bus_saving = 0.60 * blocks.result_bus_total
+    combined = (exec_saving + latch_saving + dcache_saving + bus_saving) / total
+    assert 0.15 <= combined <= 0.25
+
+
+def test_custom_calibration_respected():
+    cal = PowerCalibration(total_watts=100.0, frac_exec_units=0.20,
+                           frac_latches=0.10)
+    blocks = BlockPowers(MachineConfig(), cal)
+    assert blocks.total == pytest.approx(100.0)
+    assert blocks.exec_units_total == pytest.approx(20.0)

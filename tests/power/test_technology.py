@@ -1,0 +1,30 @@
+"""Technology parameters."""
+
+import pytest
+
+from repro.power import TECH_180NM
+
+
+def test_powerfactor():
+    t = TECH_180NM
+    assert t.powerfactor == pytest.approx(t.vdd ** 2 * t.frequency_hz)
+
+
+def test_switch_power_scales_linearly():
+    t = TECH_180NM
+    base = t.switch_power(1e-12)
+    assert t.switch_power(2e-12) == pytest.approx(2 * base)
+    assert t.switch_power(1e-12, activity=0.5) == pytest.approx(base / 2)
+
+
+def test_switch_power_validation():
+    with pytest.raises(ValueError):
+        TECH_180NM.switch_power(-1e-12)
+    with pytest.raises(ValueError):
+        TECH_180NM.switch_power(1e-12, activity=-0.1)
+
+
+def test_0_18um_operating_point():
+    assert TECH_180NM.feature_um == 0.18
+    assert TECH_180NM.vdd == pytest.approx(1.8)
+    assert TECH_180NM.frequency_hz == pytest.approx(1e9)

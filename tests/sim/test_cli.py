@@ -1,0 +1,63 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_bench_lists_profiles(capsys):
+    assert main(["bench"]) == 0
+    out = capsys.readouterr().out
+    for name in ("gzip", "mcf", "lucas", "swim"):
+        assert name in out
+    assert "miss-bound" in out
+
+
+def test_budget(capsys):
+    assert main(["budget"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline latches" in out
+    assert "60.0 W total" in out
+
+
+def test_budget_deep(capsys):
+    assert main(["budget", "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "20-stage" in out
+
+
+def test_run(capsys):
+    assert main(["run", "gzip", "--policy", "dcg",
+                 "--instructions", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out
+    assert "performance vs base: 100.0%" in out
+
+
+def test_run_deep(capsys):
+    assert main(["run", "gzip", "--deep", "--instructions", "1200"]) == 0
+    assert "saved" in capsys.readouterr().out
+
+
+def test_compare(capsys):
+    assert main(["compare", "mcf", "--instructions", "1200"]) == 0
+    out = capsys.readouterr().out
+    for policy in ("base", "dcg", "plb-orig", "plb-ext"):
+        assert policy in out
+
+
+def test_figure(capsys):
+    assert main(["figure", "fig16", "--instructions", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "result bus power savings" in out
+    assert "paper:" in out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "quake3"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["explode"])

@@ -1,0 +1,57 @@
+"""Experiment runner caching and configuration tags."""
+
+import pytest
+
+from repro.core import DCGPolicy
+from repro.sim import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(instructions=1200)
+
+
+def test_results_are_cached(runner):
+    a = runner.run("gzip", "dcg")
+    b = runner.run("gzip", "dcg")
+    assert a is b
+
+
+def test_distinct_policies_not_conflated(runner):
+    base = runner.base("gzip")
+    dcg = runner.dcg("gzip")
+    assert base is not dcg
+    assert base.policy == "base" and dcg.policy == "dcg"
+
+
+def test_config_tags(runner):
+    alu8 = runner.run("gzip", "base", tag="int_alus=8")
+    alu4 = runner.run("gzip", "base", tag="int_alus=4")
+    assert alu8 is not alu4
+    sim8 = runner.simulator("int_alus=8")
+    from repro.trace import FUClass
+    assert sim8.config.fu_counts[FUClass.INT_ALU] == 8
+
+
+def test_deep_tag(runner):
+    deep = runner.simulator("deep")
+    assert deep.config.depth.total_stages == 20
+
+
+def test_unknown_tag(runner):
+    with pytest.raises(ValueError, match="unknown configuration tag"):
+        runner.simulator("quantum")
+
+
+def test_policy_factory_for_custom_policies(runner):
+    result = runner.run("gzip", "dcg-no-latches",
+                        policy_factory=lambda: DCGPolicy(gate_latches=False))
+    assert result.family_savings["latches"] <= 0.0 + 1e-9
+    # cached under the custom name
+    again = runner.run("gzip", "dcg-no-latches")
+    assert again is result
+
+
+def test_plb_helpers(runner):
+    assert runner.plb_orig("gzip").policy == "plb-orig"
+    assert runner.plb_ext("gzip").policy == "plb-ext"

@@ -1,0 +1,67 @@
+"""Trace statistics collection."""
+
+from repro.trace import MicroOp, OpClass, collect_stats
+
+
+def test_empty_trace():
+    stats = collect_stats([])
+    assert stats.count == 0
+    assert stats.mix == {}
+    assert stats.taken_rate == 0.0
+    assert stats.mean_dep_distance == 0.0
+
+
+def test_mix_fractions():
+    trace = [
+        MicroOp(0, 0, OpClass.IALU, dest=1),
+        MicroOp(1, 4, OpClass.IALU, dest=2),
+        MicroOp(2, 8, OpClass.LOAD, dest=3, mem_addr=64),
+        MicroOp(3, 12, OpClass.BRANCH, taken=True, target=0),
+    ]
+    stats = collect_stats(trace)
+    assert stats.count == 4
+    assert stats.fraction(OpClass.IALU) == 0.5
+    assert stats.mem_fraction == 0.25
+    assert stats.branch_fraction == 0.25
+    assert stats.int_fraction == 0.5
+
+
+def test_taken_rate():
+    trace = [
+        MicroOp(0, 0, OpClass.BRANCH, taken=True, target=0),
+        MicroOp(1, 4, OpClass.BRANCH, taken=False),
+        MicroOp(2, 8, OpClass.BRANCH, taken=True, target=0),
+        MicroOp(3, 12, OpClass.BRANCH, taken=True, target=0),
+    ]
+    assert collect_stats(trace).taken_rate == 0.75
+
+
+def test_dependency_distance():
+    # op1 reads r1 written by op0 (distance 1); op3 reads r1 (distance 3)
+    trace = [
+        MicroOp(0, 0, OpClass.IALU, dest=1),
+        MicroOp(1, 4, OpClass.IALU, srcs=(1,), dest=2),
+        MicroOp(2, 8, OpClass.IALU, dest=3),
+        MicroOp(3, 12, OpClass.IALU, srcs=(1,), dest=4),
+    ]
+    stats = collect_stats(trace)
+    assert stats.dep_distance_samples == 2
+    assert stats.mean_dep_distance == (1 + 3) / 2
+
+
+def test_sources_without_in_trace_producer_are_ignored():
+    trace = [MicroOp(0, 0, OpClass.IALU, srcs=(9, 10), dest=1)]
+    stats = collect_stats(trace)
+    assert stats.dep_distance_samples == 0
+
+
+def test_footprint_counters():
+    trace = [
+        MicroOp(0, 0, OpClass.LOAD, dest=1, mem_addr=0),
+        MicroOp(1, 4, OpClass.LOAD, dest=2, mem_addr=8),     # same 64B block
+        MicroOp(2, 0, OpClass.LOAD, dest=3, mem_addr=128),   # repeat pc
+    ]
+    stats = collect_stats(trace)
+    assert stats.unique_pcs == 2
+    assert stats.unique_blocks_64b == 2
+    assert stats.loads == 3 and stats.stores == 0

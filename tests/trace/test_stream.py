@@ -1,0 +1,77 @@
+"""TraceStream behaviour, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace import MicroOp, OpClass, TraceExhausted, TraceStream, materialize
+
+
+def _ops(n):
+    return [MicroOp(i, 0x1000 + 4 * i, OpClass.IALU, dest=1) for i in range(n)]
+
+
+def test_next_and_peek():
+    stream = TraceStream(_ops(3))
+    assert stream.peek().seq == 0
+    assert stream.next().seq == 0
+    assert stream.peek().seq == 1
+    assert stream.delivered == 1
+
+
+def test_peek_does_not_consume():
+    stream = TraceStream(_ops(2))
+    for _ in range(5):
+        assert stream.peek().seq == 0
+    assert stream.delivered == 0
+
+
+def test_limit_enforced():
+    stream = TraceStream(_ops(10), limit=4)
+    collected = list(stream)
+    assert [op.seq for op in collected] == [0, 1, 2, 3]
+    assert stream.exhausted
+
+
+def test_exhaustion_raises():
+    stream = TraceStream(_ops(1))
+    stream.next()
+    assert stream.exhausted
+    assert stream.peek() is None
+    with pytest.raises(TraceExhausted):
+        stream.next()
+
+
+def test_zero_limit():
+    stream = TraceStream(_ops(5), limit=0)
+    assert stream.exhausted
+    assert list(stream) == []
+
+
+def test_negative_limit_rejected():
+    with pytest.raises(ValueError):
+        TraceStream(_ops(1), limit=-1)
+
+
+def test_materialize():
+    ops = materialize(_ops(7), limit=5)
+    assert len(ops) == 5
+
+
+def test_works_with_generator_source():
+    def gen():
+        for op in _ops(3):
+            yield op
+    stream = TraceStream(gen())
+    assert len(list(stream)) == 3
+
+
+@given(n=st.integers(0, 50), limit=st.one_of(st.none(), st.integers(0, 60)))
+def test_delivery_count_property(n, limit):
+    stream = TraceStream(_ops(n), limit=limit)
+    out = list(stream)
+    expected = n if limit is None else min(n, limit)
+    assert len(out) == expected
+    assert stream.delivered == expected
+    assert stream.exhausted
+    # delivered ops come out in order
+    assert [op.seq for op in out] == list(range(expected))

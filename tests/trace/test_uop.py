@@ -1,0 +1,77 @@
+"""MicroOp record semantics."""
+
+import pytest
+
+from repro.trace import FUClass, MicroOp, OpClass
+
+
+def test_basic_fields():
+    op = MicroOp(0, 0x1000, OpClass.IALU, srcs=(1, 2), dest=3)
+    assert op.seq == 0
+    assert op.pc == 0x1000
+    assert op.srcs == (1, 2)
+    assert op.dest == 3
+    assert op.writes_register
+
+
+def test_srcs_normalised_to_tuple():
+    op = MicroOp(0, 0, OpClass.IALU, srcs=[4, 5], dest=6)
+    assert op.srcs == (4, 5)
+
+
+def test_taken_branch_requires_target():
+    with pytest.raises(ValueError):
+        MicroOp(0, 0, OpClass.BRANCH, taken=True)
+
+
+def test_not_taken_branch_allows_missing_target():
+    op = MicroOp(0, 0x100, OpClass.BRANCH, taken=False)
+    assert op.next_pc == 0x104
+
+
+def test_memory_op_requires_address():
+    with pytest.raises(ValueError):
+        MicroOp(0, 0, OpClass.LOAD, dest=1)
+    with pytest.raises(ValueError):
+        MicroOp(0, 0, OpClass.STORE, srcs=(1, 2))
+
+
+def test_next_pc_taken_branch():
+    op = MicroOp(0, 0x100, OpClass.BRANCH, taken=True, target=0x200)
+    assert op.next_pc == 0x200
+
+
+def test_next_pc_sequential():
+    op = MicroOp(0, 0x100, OpClass.IALU, dest=1)
+    assert op.next_pc == 0x104
+
+
+@pytest.mark.parametrize("op_class,fu_class", [
+    (OpClass.IALU, FUClass.INT_ALU),
+    (OpClass.IMUL, FUClass.INT_MULT),
+    (OpClass.IDIV, FUClass.INT_MULT),
+    (OpClass.FPALU, FUClass.FP_ALU),
+    (OpClass.FPMUL, FUClass.FP_MULT),
+    (OpClass.FPDIV, FUClass.FP_MULT),
+    (OpClass.LOAD, FUClass.MEM_PORT),
+    (OpClass.STORE, FUClass.MEM_PORT),
+    (OpClass.BRANCH, FUClass.INT_ALU),
+])
+def test_fu_class_mapping(op_class, fu_class):
+    kwargs = {}
+    if op_class in (OpClass.LOAD, OpClass.STORE):
+        kwargs["mem_addr"] = 0x1000
+    op = MicroOp(0, 0, op_class, **kwargs)
+    assert op.fu_class is fu_class
+
+
+def test_classification_predicates():
+    load = MicroOp(0, 0, OpClass.LOAD, dest=1, mem_addr=8)
+    store = MicroOp(1, 4, OpClass.STORE, srcs=(1, 2), mem_addr=8)
+    fp = MicroOp(2, 8, OpClass.FPMUL, srcs=(33, 34), dest=35)
+    branch = MicroOp(3, 12, OpClass.BRANCH, taken=False)
+    assert load.is_load and load.is_mem and not load.is_store
+    assert store.is_store and store.is_mem and not store.is_load
+    assert not store.writes_register
+    assert fp.is_fp and not fp.is_int
+    assert branch.is_branch and not branch.is_mem

@@ -1,0 +1,67 @@
+"""Microbenchmark stress profiles behave as designed."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import MICROBENCHMARKS, SPEC2000, get_microbenchmark
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator()
+
+
+def _run(sim, name, policy="base", n=2500):
+    return sim.run_benchmark(get_microbenchmark(name), policy,
+                             instructions=n)
+
+
+def test_registry_disjoint_from_spec2000():
+    assert not (set(MICROBENCHMARKS) & set(SPEC2000))
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown microbenchmark"):
+        get_microbenchmark("quake")
+
+
+def test_alu_storm_approaches_alu_bound(sim):
+    """Pure independent integer work: IPC near the 6-ALU limit."""
+    result = _run(sim, "alu_storm")
+    assert result.ipc > 4.0
+
+
+def test_serial_chain_is_ipc_one(sim):
+    result = _run(sim, "serial_chain")
+    assert result.ipc < 1.6
+
+
+def test_load_storm_is_port_bound(sim):
+    """80 % loads on 2 ports: IPC capped near 2/0.8."""
+    result = _run(sim, "load_storm")
+    assert 1.5 < result.ipc < 2.9
+
+
+def test_miss_storm_crawls(sim):
+    result = _run(sim, "miss_storm", n=1200)
+    assert result.ipc < 0.4
+
+
+def test_branch_storm_is_redirect_bound(sim):
+    result = _run(sim, "branch_storm")
+    assert result.ipc < 1.8
+    assert result.stats.mispredict_rate > 0.15
+
+
+def test_miss_storm_maximises_dcg_saving(sim):
+    """A machine that is mostly stalled is mostly gateable."""
+    stalled = _run(sim, "miss_storm", "dcg", n=1200)
+    busy = _run(sim, "alu_storm", "dcg")
+    assert stalled.total_saving > busy.total_saving
+
+
+def test_fp_storm_keeps_fp_units_hot(sim):
+    fp = _run(sim, "fp_mul_storm", "dcg")
+    alu = _run(sim, "alu_storm", "dcg")
+    assert fp.family_savings["fp_units"] < 0.6
+    assert alu.family_savings["fp_units"] == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Phase-alternating workloads."""
+
+import pytest
+
+from repro.core import PLBPolicy
+from repro.pipeline import MachineConfig, Pipeline
+from repro.trace import TraceStream, collect_stats
+from repro.workloads import PhasedWorkload, get_profile
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="at least two"):
+        PhasedWorkload(["gzip"])
+    with pytest.raises(ValueError, match="phase_length"):
+        PhasedWorkload(["gzip", "mcf"], phase_length=0)
+
+
+def test_accepts_names_and_profiles():
+    workload = PhasedWorkload([get_profile("gzip"), "swim"])
+    assert workload.name == "phased(gzip+swim)"
+
+
+def test_sequence_numbers_are_contiguous():
+    workload = PhasedWorkload(["gzip", "mcf"], phase_length=100)
+    stream = iter(workload)
+    ops = [next(stream) for _ in range(450)]
+    assert [op.seq for op in ops] == list(range(450))
+
+
+def test_phases_alternate_mix():
+    """A gzip phase has no FP work; a swim phase has plenty."""
+    workload = PhasedWorkload(["gzip", "swim"], phase_length=2000)
+    stream = iter(workload)
+    phase_a = [next(stream) for _ in range(2000)]
+    phase_b = [next(stream) for _ in range(2000)]
+    assert collect_stats(phase_a).fp_fraction == 0.0
+    assert collect_stats(phase_b).fp_fraction > 0.25
+
+
+def test_phases_use_distinct_code_regions():
+    workload = PhasedWorkload(["gzip", "mcf"], phase_length=500)
+    stream = iter(workload)
+    phase_a_pcs = {next(stream).pc for _ in range(500)}
+    phase_b_pcs = {next(stream).pc for _ in range(500)}
+    assert not (phase_a_pcs & phase_b_pcs)
+
+
+def test_plb_tracks_phases():
+    """PLB must end up in different modes for a fast and a slow phase:
+    the mode distribution of a gzip+mcf splice shows both wide and
+    narrow modes, with several transitions."""
+    workload = PhasedWorkload(["gzip", "mcf"], phase_length=4000)
+    policy = PLBPolicy(extended=True)
+    pipe = Pipeline(MachineConfig(), TraceStream(iter(workload), limit=16000),
+                    policy)
+    workload.prewarm(pipe.hierarchy)
+    pipe.run(max_instructions=16000)
+    assert policy.transitions >= 2
+    narrow = policy.mode_cycles[4]
+    wide = policy.mode_cycles[8] + policy.mode_cycles[6]
+    assert narrow > 0 and wide > 0
+
+
+def test_prewarm_covers_all_phases():
+    workload = PhasedWorkload(["gzip", "swim"], phase_length=100)
+    pipe = Pipeline(MachineConfig(),
+                    TraceStream(iter(workload), limit=100),
+                    __import__("repro.core", fromlist=["NoGatingPolicy"]).NoGatingPolicy())
+    workload.prewarm(pipe.hierarchy)
+    # both phases' code bases are resident
+    for generator in workload.generators:
+        assert pipe.hierarchy.l1i.contains(generator.code_base)

@@ -1,0 +1,127 @@
+"""Synthetic trace generator."""
+
+import pytest
+
+from repro.memory import CacheHierarchy
+from repro.trace import OpClass, collect_stats
+from repro.workloads import SyntheticTraceGenerator, generate_trace, get_profile
+from repro.workloads.synthetic import _COLD_BASE, _HOT_BASE, _WARM_BASE
+
+
+def test_deterministic_for_same_seed():
+    profile = get_profile("gzip")
+    a = generate_trace(profile, 2000)
+    b = generate_trace(profile, 2000)
+    for x, y in zip(a, b):
+        assert (x.pc, x.op_class, x.srcs, x.dest, x.mem_addr, x.taken,
+                x.target) == (y.pc, y.op_class, y.srcs, y.dest, y.mem_addr,
+                              y.taken, y.target)
+
+
+def test_different_seed_differs():
+    profile = get_profile("gzip")
+    a = generate_trace(profile, 500)
+    b = generate_trace(profile, 500, seed=4242)
+    assert any(x.pc != y.pc or x.op_class != y.op_class
+               for x, y in zip(a, b))
+
+
+def test_sequence_numbers_monotonic():
+    trace = generate_trace(get_profile("swim"), 1000)
+    assert [op.seq for op in trace] == list(range(1000))
+
+
+def test_mix_tracks_profile():
+    profile = get_profile("gzip")
+    stats = collect_stats(generate_trace(profile, 30000))
+    # branch fraction within a factor-of-1.5 band of the target (the
+    # dynamic CFG walk cannot hit it exactly)
+    assert stats.branch_fraction == pytest.approx(
+        profile.branch_fraction, rel=0.5)
+    # non-branch classes proportional to the profile mix
+    assert stats.fraction(OpClass.LOAD) == pytest.approx(
+        profile.mix[OpClass.LOAD], rel=0.35)
+    assert stats.fp_fraction == 0.0
+
+
+def test_fp_profile_emits_fp_work():
+    stats = collect_stats(generate_trace(get_profile("swim"), 10000))
+    assert stats.fp_fraction > 0.25
+
+
+def test_taken_branches_have_targets():
+    for op in generate_trace(get_profile("gcc"), 5000):
+        if op.is_branch and op.taken:
+            assert op.target is not None
+        if op.is_mem:
+            assert op.mem_addr is not None and op.mem_addr % 8 == 0
+
+
+def test_control_flow_is_consistent():
+    """The next op's pc must equal the previous op's next_pc."""
+    trace = generate_trace(get_profile("vpr"), 5000)
+    for prev, nxt in zip(trace, trace[1:]):
+        assert nxt.pc == prev.next_pc
+
+
+def test_memory_regions_respected():
+    profile = get_profile("mcf")
+    trace = generate_trace(profile, 20000)
+    hot = warm = cold = 0
+    for op in trace:
+        if not op.is_mem:
+            continue
+        if _HOT_BASE <= op.mem_addr < _WARM_BASE:
+            hot += 1
+        elif _WARM_BASE <= op.mem_addr < _COLD_BASE:
+            warm += 1
+        else:
+            cold += 1
+    total = hot + warm + cold
+    assert cold / total == pytest.approx(profile.cold_fraction, abs=0.05)
+    assert hot / total == pytest.approx(profile.hot_fraction, abs=0.05)
+
+
+def test_cold_accesses_stream_unique_lines():
+    trace = generate_trace(get_profile("lucas"), 20000)
+    cold_lines = [op.mem_addr // 64 for op in trace
+                  if op.is_mem and op.mem_addr >= _COLD_BASE]
+    assert len(cold_lines) == len(set(cold_lines))
+
+
+def test_pointer_chasing_serialises_loads():
+    """mcf's profile must produce loads whose address register is the
+    previous load's destination."""
+    trace = generate_trace(get_profile("mcf"), 20000)
+    chained = 0
+    last_load_dest = None
+    for op in trace:
+        if op.is_load:
+            if last_load_dest is not None and op.srcs == (last_load_dest,):
+                chained += 1
+            last_load_dest = op.dest
+    loads = sum(1 for op in trace if op.is_load)
+    assert chained / loads > 0.15
+
+
+def test_loop_branches_mostly_taken():
+    stats = collect_stats(generate_trace(get_profile("mgrid"), 10000))
+    assert stats.taken_rate > 0.8
+
+
+def test_prewarm_installs_working_set():
+    profile = get_profile("gzip")
+    generator = SyntheticTraceGenerator(profile)
+    hierarchy = CacheHierarchy()
+    generator.prewarm(hierarchy)
+    assert hierarchy.l1d.contains(_HOT_BASE)
+    assert hierarchy.l1d.contains(_HOT_BASE + profile.hot_bytes - 64)
+    assert hierarchy.l2.contains(_WARM_BASE)
+    # cold region must stay uncached
+    assert not hierarchy.l2.contains(_COLD_BASE)
+
+
+def test_generator_is_unbounded():
+    generator = iter(SyntheticTraceGenerator(get_profile("art")))
+    for _ in range(5000):
+        next(generator)  # must never raise StopIteration
