@@ -27,6 +27,7 @@ __all__ = [
     "fig16_result_bus",
     "fig17_deep_pipeline",
     "sec44_int_alu_sweep",
+    "full_grid",
     "run_all_experiments",
 ]
 
@@ -84,6 +85,8 @@ def _suite_means(per_bench: Dict[str, float]) -> Dict[str, float]:
 
 def fig10_total_power(runner: ExperimentRunner) -> ExperimentResult:
     """Total processor power saved by DCG, PLB-orig, PLB-ext."""
+    runner.prefetch([(b, p) for b in ALL_BENCHMARKS
+                     for p in ("dcg", "plb-orig", "plb-ext")])
     result = ExperimentResult(
         "fig10", "total power savings (% of total processor power)",
         ["benchmark", "suite", "DCG", "PLB-orig", "PLB-ext"],
@@ -118,6 +121,8 @@ def fig10_total_power(runner: ExperimentRunner) -> ExperimentResult:
 def fig11_power_delay(runner: ExperimentRunner) -> ExperimentResult:
     """Power-delay savings; DCG's equals its power saving because it
     loses no performance, PLB's shrinks by its slowdown."""
+    runner.prefetch([(b, p) for b in ALL_BENCHMARKS
+                     for p in ("base", "dcg", "plb-orig", "plb-ext")])
     result = ExperimentResult(
         "fig11", "power-delay savings (% of base power-delay)",
         ["benchmark", "suite", "DCG", "PLB-orig", "PLB-ext", "PLB perf"],
@@ -161,6 +166,8 @@ def _component_figure(runner: ExperimentRunner, figure_id: str, title: str,
                       family: str, paper: Dict[str, float],
                       benchmarks: Sequence[str] = ALL_BENCHMARKS
                       ) -> ExperimentResult:
+    runner.prefetch([(b, p) for b in benchmarks
+                     for p in ("dcg", "plb-ext")])
     result = ExperimentResult(
         figure_id, title,
         ["benchmark", "suite", "DCG", "PLB-ext"], paper=paper)
@@ -236,6 +243,8 @@ def fig16_result_bus(runner: ExperimentRunner) -> ExperimentResult:
 def fig17_deep_pipeline(runner: ExperimentRunner) -> ExperimentResult:
     """DCG savings on the 8-stage vs the 20-stage machine (paper:
     19.9 % vs 24.5 % — deeper pipelines save more)."""
+    runner.prefetch([(b, "dcg", tag) for b in ALL_BENCHMARKS
+                     for tag in ("baseline", "deep")])
     result = ExperimentResult(
         "fig17", "DCG savings: 8-stage vs 20-stage pipeline",
         ["benchmark", "suite", "8-stage", "20-stage"],
@@ -261,6 +270,8 @@ def sec44_int_alu_sweep(runner: ExperimentRunner) -> ExperimentResult:
     """Relative performance with 8, 6, and 4 integer ALUs (paper:
     worst-case 98.8 % with 6 units, 92.7 % with 4; 6 is the
     power-performance sweet spot used in all experiments)."""
+    runner.prefetch([(b, "base", f"int_alus={n}") for b in ALL_BENCHMARKS
+                     for n in (8, 6, 4)])
     result = ExperimentResult(
         "sec4.4", "relative performance vs number of integer ALUs",
         ["benchmark", "suite", "8 ALUs", "6 ALUs", "4 ALUs"],
@@ -283,10 +294,25 @@ def sec44_int_alu_sweep(runner: ExperimentRunner) -> ExperimentResult:
     return result
 
 
+def full_grid() -> List:
+    """Every (benchmark, policy, tag) cell the full report needs, so a
+    single :meth:`~repro.sim.runner.ExperimentRunner.prefetch` can fan
+    the whole grid out at once."""
+    grid = []
+    for bench in ALL_BENCHMARKS:
+        for n in (8, 6, 4):
+            grid.append((bench, "base", f"int_alus={n}"))
+        for policy in ("base", "dcg", "plb-orig", "plb-ext"):
+            grid.append((bench, policy, "baseline"))
+        grid.append((bench, "dcg", "deep"))
+    return grid
+
+
 def run_all_experiments(runner: Optional[ExperimentRunner] = None
                         ) -> List[ExperimentResult]:
     """Reproduce every table/figure; returns their results in paper order."""
     runner = runner or ExperimentRunner()
+    runner.prefetch(full_grid())
     return [
         sec44_int_alu_sweep(runner),
         fig10_total_power(runner),

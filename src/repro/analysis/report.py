@@ -8,7 +8,6 @@ metric.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence
 
 from ..sim.runner import ExperimentRunner
@@ -84,12 +83,15 @@ def render_markdown_report(results: Sequence[ExperimentResult],
 def write_experiments_md(path: str,
                          runner: Optional[ExperimentRunner] = None) -> str:
     """Run everything and write the report to ``path``; returns the
-    rendered text."""
+    rendered text.
+
+    The file deliberately omits the wall-clock line so its bytes depend
+    only on simulation results — identical across ``--jobs`` settings
+    and across cold/warm cache runs (the CLI reports timing to stderr).
+    """
     runner = runner or ExperimentRunner()
-    start = time.time()
     results = run_all_experiments(runner)
-    text = render_markdown_report(results, runner.instructions,
-                                  elapsed_seconds=time.time() - start)
+    text = render_markdown_report(results, runner.instructions)
     with open(path, "w") as handle:
         handle.write(text + "\n")
     return text

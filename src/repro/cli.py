@@ -29,7 +29,9 @@ from .analysis.experiments import (
 )
 from .analysis.report import write_experiments_md
 from .power import BlockPowers
-from .sim import ExperimentRunner, Simulator, baseline_config, deep_pipeline_config
+from .sim import (ExperimentRunner, Simulator, baseline_config,
+                  deep_pipeline_config, default_jobs)
+from .sim.parallel import RunReport
 from .workloads import ALL_BENCHMARKS, SPEC2000
 
 _FIGURES = {
@@ -70,10 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("id", choices=sorted(k for k, v in _FIGURES.items()
                                              if v is not None))
     figure.add_argument("--instructions", type=int, default=None)
+    figure.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the simulation grid "
+                             "(default: $REPRO_JOBS or 1)")
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.add_argument("--instructions", type=int, default=None)
+    report.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the simulation grid "
+                             "(default: $REPRO_JOBS or 1)")
 
     budget = sub.add_parser("budget", help="print the power budget")
     budget.add_argument("--deep", action="store_true")
@@ -82,13 +90,55 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _ProgressPrinter:
+    """Per-run progress lines for grid commands (written to stderr)."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.simulated = 0
+        self.disk_hits = 0
+
+    def __call__(self, report: RunReport) -> None:
+        self.completed += 1
+        spec = report.spec
+        where = f"{spec.benchmark}/{spec.policy}"
+        if spec.tag != "baseline":
+            where += f"@{spec.tag}"
+        if report.source == "disk":
+            self.disk_hits += 1
+            detail = "cache hit (disk)"
+        else:
+            self.simulated += 1
+            rate = report.instructions_per_second
+            detail = (f"{report.seconds:6.2f}s  "
+                      f"{rate / 1000.0:7.1f}k instr/s  cache miss")
+        print(f"[{self.completed:4d}] {where:32s} {detail}",
+              file=sys.stderr)
+
+    def summary(self) -> str:
+        return (f"{self.completed} runs: {self.simulated} simulated, "
+                f"{self.disk_hits} disk-cache hits")
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    """Runner for grid commands: --jobs / $REPRO_JOBS and progress."""
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs <= 0:
+        raise SystemExit("--jobs must be positive")
+    return ExperimentRunner(instructions=args.instructions, jobs=jobs,
+                            progress=_ProgressPrinter())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = deep_pipeline_config() if args.deep else baseline_config()
     sim = Simulator(config)
     base = sim.run_benchmark(args.benchmark, "base",
                              instructions=args.instructions)
-    result = sim.run_benchmark(args.benchmark, args.policy,
-                               instructions=args.instructions)
+    # the baseline doubles as the result when it is the requested
+    # policy — don't simulate the same run twice
+    result = (base if args.policy == "base" else
+              sim.run_benchmark(args.benchmark, args.policy,
+                                instructions=args.instructions))
     print(f"{args.benchmark} under {args.policy}: "
           f"{result.cycles} cycles, IPC {result.ipc:.2f}")
     print(f"power: {result.average_power:.2f} W of "
@@ -116,17 +166,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(instructions=args.instructions)
+    runner = _make_runner(args)
     result = _FIGURES[args.id](runner)
+    print(runner.progress.summary(), file=sys.stderr)
     print(result.render())
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(instructions=args.instructions)
+    import time
+    runner = _make_runner(args)
     print(f"running the full grid at {runner.instructions} "
-          "instructions per run...", file=sys.stderr)
+          f"instructions per run, {runner.jobs} job(s)...",
+          file=sys.stderr)
+    start = time.perf_counter()
     write_experiments_md(args.output, runner)
+    elapsed = time.perf_counter() - start
+    print(f"{runner.progress.summary()}, {elapsed:.1f}s wall-clock",
+          file=sys.stderr)
     print(f"wrote {args.output}", file=sys.stderr)
     return 0
 

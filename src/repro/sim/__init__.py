@@ -1,15 +1,28 @@
-"""Simulation drivers: facade, experiment runner, canonical configs."""
+"""Simulation drivers: facade, experiment runner, canonical configs,
+the on-disk result cache, and the multiprocessing grid executor."""
 
-from .configs import baseline_config, deep_pipeline_config, default_instructions
+from .cache import ResultCache, fingerprint
+from .configs import (baseline_config, config_from_tag,
+                      deep_pipeline_config, default_instructions)
+from .parallel import RunReport, RunSpec, default_jobs, execute_specs
 from .runner import ExperimentRunner
-from .simulator import SimulationResult, Simulator, make_policy
+from .simulator import (BUILTIN_POLICIES, SimulationResult, Simulator,
+                        make_policy)
 
 __all__ = [
+    "BUILTIN_POLICIES",
     "ExperimentRunner",
+    "ResultCache",
+    "RunReport",
+    "RunSpec",
     "SimulationResult",
     "Simulator",
     "baseline_config",
+    "config_from_tag",
     "deep_pipeline_config",
     "default_instructions",
+    "default_jobs",
+    "execute_specs",
+    "fingerprint",
     "make_policy",
 ]

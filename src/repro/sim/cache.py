@@ -1,0 +1,252 @@
+"""Persistent, content-addressed result cache.
+
+The experiment grid behind §5's figures is a pure function of
+(machine config, benchmark profile, policy, instruction budget, seed):
+the trace generator is seeded and the pipeline is deterministic, so a
+:class:`~repro.sim.simulator.SimulationResult` can be stored on disk and
+replayed in any later process.  :class:`ResultCache` does exactly that —
+one JSON file per run, named by a SHA-256 fingerprint of everything the
+run depends on, so a stale config or profile change can never alias a
+fresh one.
+
+The cache directory comes from the ``REPRO_CACHE_DIR`` environment
+variable (or an explicit ``root`` argument); without either the cache
+degrades to a no-op and the in-memory memoisation in
+:class:`~repro.sim.runner.ExperimentRunner` is all you get.  Corrupt or
+stale entries are deleted and recomputed, never raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from ..pipeline.config import MachineConfig
+from ..pipeline.stats import SimStats
+from ..power.budget import PowerCalibration
+from ..trace.uop import FUClass, OpClass
+from ..workloads.profiles import BenchmarkProfile
+from .simulator import SimulationResult
+
+__all__ = ["ResultCache", "fingerprint", "result_to_dict",
+           "result_from_dict", "CACHE_ENV_VAR"]
+
+#: environment variable naming the on-disk cache directory
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: bump to invalidate every existing entry after a model change that
+#: alters simulation results without altering any config dataclass
+CACHE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting
+# ---------------------------------------------------------------------------
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-encodable form of configs/profiles/enums."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {(k.name if isinstance(k, enum.Enum) else str(k)):
+                _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def fingerprint(config: MachineConfig, profile: BenchmarkProfile,
+                policy: str, instructions: int,
+                calibration: Optional[PowerCalibration] = None,
+                seed: Optional[int] = None) -> str:
+    """Content hash of everything a simulation's outcome depends on."""
+    payload = {
+        "version": CACHE_VERSION,
+        "config": _jsonable(config),
+        "profile": _jsonable(profile),
+        "policy": policy,
+        "instructions": instructions,
+        "calibration": _jsonable(calibration or PowerCalibration()),
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult <-> JSON
+# ---------------------------------------------------------------------------
+
+_STATS_SCALARS = (
+    "cycles", "committed", "fetched", "loads", "stores",
+    "forwarded_loads", "mispredicts", "wrong_path_fetched",
+    "wrong_path_squashed", "mispredict_rate", "dcache_port_utilization",
+    "result_bus_utilization", "issue_ipc", "fetch_stall_fraction",
+)
+
+
+def _stats_to_dict(stats: SimStats) -> Dict[str, Any]:
+    data: Dict[str, Any] = {name: getattr(stats, name)
+                            for name in _STATS_SCALARS}
+    data["commit_class_counts"] = {
+        op.name: count for op, count in stats.commit_class_counts.items()}
+    data["fu_utilization"] = {
+        fu.name: util for fu, util in stats.fu_utilization.items()}
+    data["cache_stats"] = stats.cache_stats
+    return data
+
+
+def _stats_from_dict(data: Dict[str, Any]) -> SimStats:
+    stats = SimStats()
+    for name in _STATS_SCALARS:
+        setattr(stats, name, data[name])
+    stats.commit_class_counts = Counter(
+        {OpClass[name]: count
+         for name, count in data["commit_class_counts"].items()})
+    stats.fu_utilization = {
+        FUClass[name]: util
+        for name, util in data["fu_utilization"].items()}
+    stats.cache_stats = data["cache_stats"]
+    return stats
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """JSON-encodable form of a :class:`SimulationResult`."""
+    return {
+        "benchmark": result.benchmark,
+        "policy": result.policy,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "base_power": result.base_power,
+        "average_power": result.average_power,
+        "total_saving": result.total_saving,
+        "family_savings": dict(result.family_savings),
+        "mode_cycles": {str(k): v for k, v in result.mode_cycles.items()},
+        "fu_toggles": result.fu_toggles,
+        "stats": (_stats_to_dict(result.stats)
+                  if result.stats is not None else None),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`."""
+    return SimulationResult(
+        benchmark=data["benchmark"],
+        policy=data["policy"],
+        instructions=data["instructions"],
+        cycles=data["cycles"],
+        ipc=data["ipc"],
+        base_power=data["base_power"],
+        average_power=data["average_power"],
+        total_saving=data["total_saving"],
+        family_savings=dict(data["family_savings"]),
+        stats=(_stats_from_dict(data["stats"])
+               if data.get("stats") is not None else None),
+        mode_cycles={int(k): v for k, v in data["mode_cycles"].items()},
+        fu_toggles=data["fu_toggles"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the cache proper
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """One-JSON-file-per-run store under a root directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory.  Defaults to ``$REPRO_CACHE_DIR``; when neither
+        is set (or ``root`` is the empty string) the cache is disabled
+        and every lookup misses.
+
+    Notes
+    -----
+    A corrupt, truncated, or schema-incompatible entry is treated as a
+    miss: the file is deleted and the run recomputed.  ``hits``,
+    ``misses``, and ``stores`` count lookups for progress reporting.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_ENV_VAR)
+        self.root = root or None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Stored result for ``key``, or ``None`` on any kind of miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # corrupt or stale entry: drop it and recompute
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump(result_to_dict(result), handle)
+            os.replace(tmp, path)  # atomic, safe under parallel writers
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        if not self.enabled:
+            return 0
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -6,7 +6,8 @@ import os
 
 from ..pipeline.config import DEEP_DEPTH, MachineConfig
 
-__all__ = ["baseline_config", "deep_pipeline_config", "default_instructions"]
+__all__ = ["baseline_config", "deep_pipeline_config", "default_instructions",
+           "config_from_tag"]
 
 
 def baseline_config() -> MachineConfig:
@@ -20,6 +21,51 @@ def baseline_config() -> MachineConfig:
 def deep_pipeline_config() -> MachineConfig:
     """The §5.6 20-stage machine (same widths and resources)."""
     return MachineConfig(depth=DEEP_DEPTH)
+
+
+def config_from_tag(tag: str) -> MachineConfig:
+    """Machine configuration named by an experiment tag.
+
+    Tags are the grid axes the figures sweep: ``baseline``, ``deep``,
+    ``int_alus=N``, ``fu=round-robin``, ``width=N``, ``window=N``,
+    ``ports=N``.  Module-level (rather than a runner method) so worker
+    processes can rebuild configurations from the tag alone.
+    """
+    if tag == "baseline":
+        return baseline_config()
+    if tag == "deep":
+        return deep_pipeline_config()
+    if tag.startswith("int_alus="):
+        return baseline_config().with_int_alus(int(tag.split("=", 1)[1]))
+    if tag == "fu=round-robin":
+        from dataclasses import replace
+        from ..backend.funits import AllocationPolicy
+        return replace(baseline_config(),
+                       fu_policy=AllocationPolicy.ROUND_ROBIN)
+    if tag.startswith("width="):
+        from dataclasses import replace
+        width = int(tag.split("=", 1)[1])
+        return replace(baseline_config(), fetch_width=width,
+                       decode_width=width, issue_width=width,
+                       commit_width=width, result_buses=width)
+    if tag.startswith("window="):
+        from dataclasses import replace
+        size = int(tag.split("=", 1)[1])
+        return replace(baseline_config(), window_size=size,
+                       lsq_size=max(8, size // 2))
+    if tag.startswith("ports="):
+        from dataclasses import replace
+        from ..memory.hierarchy import HierarchyConfig
+        ports = int(tag.split("=", 1)[1])
+        base = baseline_config()
+        hier = HierarchyConfig(
+            l1i=base.hierarchy.l1i,
+            l1d=replace(base.hierarchy.l1d, ports=ports),
+            l2=base.hierarchy.l2,
+            memory_latency=base.hierarchy.memory_latency,
+            bus_bytes=base.hierarchy.bus_bytes)
+        return replace(base, hierarchy=hier)
+    raise ValueError(f"unknown configuration tag {tag!r}")
 
 
 def default_instructions(default: int = 8_000) -> int:

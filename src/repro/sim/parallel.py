@@ -1,0 +1,164 @@
+"""Multiprocessing fan-out for the experiment grid.
+
+The (config, benchmark, policy) grid behind the paper's figures is
+embarrassingly parallel: every run is an independent, seeded, pure
+computation.  :func:`execute_specs` distributes a batch of
+:class:`RunSpec` across a process pool and returns results in
+submission order, so the output is byte-identical to a serial run no
+matter how many workers raced to produce it.
+
+Worker count comes from the ``--jobs`` CLI flag or the ``REPRO_JOBS``
+environment variable; ``jobs=1`` (the default) and any platform where a
+pool cannot be created fall back to a plain serial loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..power.budget import PowerCalibration
+from .configs import config_from_tag
+from .simulator import SimulationResult, Simulator
+
+__all__ = ["RunSpec", "RunReport", "default_jobs", "execute_specs",
+           "JOBS_ENV_VAR"]
+
+#: environment variable naming the default worker count
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the experiment grid, picklable for worker dispatch.
+
+    ``seed`` is the resolved trace-generator seed (the profile's own
+    seed unless a variance study overrides it), fixed at submission
+    time so parallel and serial executions replay identical streams.
+    """
+
+    tag: str
+    benchmark: str
+    policy: str
+    instructions: int
+    seed: Optional[int] = None
+
+
+@dataclass
+class RunReport:
+    """Timing/provenance of one completed run, for progress lines."""
+
+    spec: RunSpec
+    seconds: float
+    source: str                    #: "run" | "memory" | "disk"
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.spec.instructions / self.seconds
+
+
+def default_jobs(default: int = 1) -> int:
+    """Worker count from ``REPRO_JOBS`` (>=1), else ``default``."""
+    value = os.environ.get(JOBS_ENV_VAR)
+    if value is None:
+        return default
+    jobs = int(value)
+    if jobs <= 0:
+        raise ValueError(f"{JOBS_ENV_VAR} must be positive")
+    return jobs
+
+
+# -- worker side ------------------------------------------------------------
+
+_WORKER_CALIBRATION: Optional[PowerCalibration] = None
+_WORKER_SIMULATORS = {}
+
+
+def _init_worker(calibration: PowerCalibration) -> None:
+    global _WORKER_CALIBRATION
+    _WORKER_CALIBRATION = calibration
+    _WORKER_SIMULATORS.clear()
+
+
+def _worker_simulator(tag: str) -> Simulator:
+    if tag not in _WORKER_SIMULATORS:
+        _WORKER_SIMULATORS[tag] = Simulator(
+            config_from_tag(tag), _WORKER_CALIBRATION)
+    return _WORKER_SIMULATORS[tag]
+
+
+def simulate_spec(spec: RunSpec,
+                  calibration: Optional[PowerCalibration] = None,
+                  simulator: Optional[Simulator] = None) -> SimulationResult:
+    """Run one grid cell from scratch (no caching)."""
+    sim = simulator or Simulator(config_from_tag(spec.tag), calibration)
+    return sim.run_benchmark(spec.benchmark, spec.policy,
+                             instructions=spec.instructions, seed=spec.seed)
+
+
+def _pool_entry(indexed: Tuple[int, RunSpec]
+                ) -> Tuple[int, SimulationResult, float]:
+    index, spec = indexed
+    start = time.perf_counter()
+    result = simulate_spec(spec, simulator=_worker_simulator(spec.tag))
+    return index, result, time.perf_counter() - start
+
+
+# -- parent side ------------------------------------------------------------
+
+ProgressFn = Callable[[RunReport], None]
+
+
+def _execute_serial(specs: Sequence[RunSpec],
+                    calibration: Optional[PowerCalibration],
+                    progress: Optional[ProgressFn]) -> List[SimulationResult]:
+    simulators = {}
+    results: List[SimulationResult] = []
+    for spec in specs:
+        if spec.tag not in simulators:
+            simulators[spec.tag] = Simulator(
+                config_from_tag(spec.tag), calibration)
+        start = time.perf_counter()
+        result = simulate_spec(spec, simulator=simulators[spec.tag])
+        if progress is not None:
+            progress(RunReport(spec, time.perf_counter() - start, "run"))
+        results.append(result)
+    return results
+
+
+def execute_specs(specs: Sequence[RunSpec],
+                  calibration: Optional[PowerCalibration] = None,
+                  jobs: int = 1,
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[SimulationResult]:
+    """Simulate every spec, ``jobs`` at a time; results in spec order.
+
+    Falls back to a serial loop when ``jobs <= 1``, when the batch is
+    a single run, or when the platform cannot start a process pool.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        return _execute_serial(specs, calibration, progress)
+    try:
+        import multiprocessing
+        pool = multiprocessing.Pool(
+            processes=min(jobs, len(specs)),
+            initializer=_init_worker,
+            initargs=(calibration or PowerCalibration(),))
+    except (ImportError, OSError, ValueError):
+        return _execute_serial(specs, calibration, progress)
+    results: List[Optional[SimulationResult]] = [None] * len(specs)
+    try:
+        for index, result, seconds in pool.imap_unordered(
+                _pool_entry, list(enumerate(specs))):
+            results[index] = result
+            if progress is not None:
+                progress(RunReport(specs[index], seconds, "run"))
+    finally:
+        pool.close()
+        pool.join()
+    return results  # type: ignore[return-value]

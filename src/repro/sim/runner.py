@@ -1,88 +1,108 @@
-"""Experiment runner with result caching.
+"""Experiment runner with in-memory and on-disk result caching.
 
 Every figure in §5 is computed from the same small set of
 (machine-config, benchmark, policy) simulations; the runner memoises
-them so the per-figure harnesses in :mod:`repro.analysis` can be run in
-any order without re-simulating.
+them in-process so the per-figure harnesses in :mod:`repro.analysis`
+can be run in any order without re-simulating, persists them through a
+:class:`~repro.sim.cache.ResultCache` so later *processes* don't
+re-simulate either, and fans grid batches out across worker processes
+via :func:`~repro.sim.parallel.execute_specs`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.interface import GatingPolicy
 from ..pipeline.config import MachineConfig
 from ..power.budget import PowerCalibration
-from .configs import baseline_config, deep_pipeline_config, default_instructions
-from .simulator import SimulationResult, Simulator
+from ..workloads.profiles import get_profile
+from .cache import ResultCache, fingerprint
+from .configs import config_from_tag, default_instructions
+from .parallel import ProgressFn, RunReport, RunSpec, execute_specs
+from .simulator import BUILTIN_POLICIES, SimulationResult, Simulator
 
 __all__ = ["ExperimentRunner"]
 
+#: (benchmark, policy) or (benchmark, policy, tag) — the loose request
+#: form accepted by :meth:`ExperimentRunner.run_many` / ``prefetch``
+Request = Union[Tuple[str, str], Tuple[str, str, str]]
+
 
 class ExperimentRunner:
-    """Memoising façade over :class:`Simulator`.
+    """Memoising, disk-backed, optionally parallel façade over
+    :class:`Simulator`.
 
     Parameters
     ----------
     instructions:
         Per-run instruction budget (defaults to
         :func:`~repro.sim.configs.default_instructions`, which honours
-        ``REPRO_SIM_INSTRUCTIONS``).
+        ``REPRO_SIM_INSTRUCTIONS``); must be positive when given.
     calibration:
         Power calibration shared by all configurations.
+    cache:
+        On-disk result cache; defaults to a :class:`ResultCache` rooted
+        at ``$REPRO_CACHE_DIR`` (disabled when the variable is unset).
+    jobs:
+        Worker processes for :meth:`run_many`/:meth:`prefetch` batches
+        (single :meth:`run` calls are always in-process).
+    progress:
+        Callback receiving a :class:`~repro.sim.parallel.RunReport` per
+        completed lookup or simulation; the CLI uses it for per-run
+        timing and cache hit/miss lines.
     """
 
     def __init__(self, instructions: Optional[int] = None,
-                 calibration: Optional[PowerCalibration] = None) -> None:
-        self.instructions = instructions or default_instructions()
+                 calibration: Optional[PowerCalibration] = None,
+                 cache: Optional[ResultCache] = None,
+                 jobs: int = 1,
+                 progress: Optional[ProgressFn] = None) -> None:
+        if instructions is None:
+            instructions = default_instructions()
+        elif instructions <= 0:
+            raise ValueError("instructions must be positive")
+        self.instructions = instructions
         self.calibration = calibration or PowerCalibration()
+        self.cache = cache if cache is not None else ResultCache()
+        self.jobs = jobs
+        self.progress = progress
         self._simulators: Dict[str, Simulator] = {}
         self._cache: Dict[Tuple[str, str, str], SimulationResult] = {}
 
     # -- configurations ---------------------------------------------------
 
     def _make_config(self, tag: str) -> MachineConfig:
-        if tag == "baseline":
-            return baseline_config()
-        if tag == "deep":
-            return deep_pipeline_config()
-        if tag.startswith("int_alus="):
-            return baseline_config().with_int_alus(int(tag.split("=", 1)[1]))
-        if tag == "fu=round-robin":
-            from dataclasses import replace
-            from ..backend.funits import AllocationPolicy
-            return replace(baseline_config(),
-                           fu_policy=AllocationPolicy.ROUND_ROBIN)
-        if tag.startswith("width="):
-            from dataclasses import replace
-            width = int(tag.split("=", 1)[1])
-            return replace(baseline_config(), fetch_width=width,
-                           decode_width=width, issue_width=width,
-                           commit_width=width, result_buses=width)
-        if tag.startswith("window="):
-            from dataclasses import replace
-            size = int(tag.split("=", 1)[1])
-            return replace(baseline_config(), window_size=size,
-                           lsq_size=max(8, size // 2))
-        if tag.startswith("ports="):
-            from dataclasses import replace
-            from ..memory.hierarchy import HierarchyConfig
-            ports = int(tag.split("=", 1)[1])
-            base = baseline_config()
-            hier = HierarchyConfig(
-                l1i=base.hierarchy.l1i,
-                l1d=replace(base.hierarchy.l1d, ports=ports),
-                l2=base.hierarchy.l2,
-                memory_latency=base.hierarchy.memory_latency,
-                bus_bytes=base.hierarchy.bus_bytes)
-            return replace(base, hierarchy=hier)
-        raise ValueError(f"unknown configuration tag {tag!r}")
+        return config_from_tag(tag)
 
     def simulator(self, tag: str = "baseline") -> Simulator:
         if tag not in self._simulators:
             self._simulators[tag] = Simulator(
                 self._make_config(tag), self.calibration)
         return self._simulators[tag]
+
+    # -- cache plumbing ---------------------------------------------------
+
+    def _spec(self, benchmark: str, policy: str, tag: str) -> RunSpec:
+        profile = get_profile(benchmark)
+        return RunSpec(tag=tag, benchmark=profile.name, policy=policy,
+                       instructions=self.instructions, seed=profile.seed)
+
+    def _fingerprint(self, spec: RunSpec) -> str:
+        return fingerprint(self._make_config(spec.tag),
+                           get_profile(spec.benchmark), spec.policy,
+                           spec.instructions, self.calibration, spec.seed)
+
+    def _report(self, spec: RunSpec, seconds: float, source: str) -> None:
+        if self.progress is not None:
+            self.progress(RunReport(spec, seconds, source))
+
+    def _memoise(self, key: Tuple[str, str, str], spec: RunSpec,
+                 result: SimulationResult, persist: bool) -> None:
+        self._cache[key] = result
+        if persist:
+            self.cache.put(self._fingerprint(spec), result)
 
     # -- runs -------------------------------------------------------------
 
@@ -94,15 +114,99 @@ class ExperimentRunner:
 
         ``policy`` is the cache key; pass ``policy_factory`` to run a
         custom-configured policy object under a distinct name (ablation
-        studies do this).
+        studies do this).  Rebinding a built-in policy name to a custom
+        factory is rejected — it would poison every cached figure that
+        shares the key.  Factory runs stay out of the disk cache: a
+        fingerprint cannot see a closure's configuration.
         """
+        if policy_factory is not None and policy in BUILTIN_POLICIES:
+            raise ValueError(
+                f"policy name {policy!r} is reserved for the built-in "
+                "policy; run a custom factory under a distinct name")
         key = (tag, benchmark, policy)
-        if key not in self._cache:
-            sim = self.simulator(tag)
-            policy_arg = policy_factory() if policy_factory else policy
-            self._cache[key] = sim.run_benchmark(
-                benchmark, policy_arg, instructions=self.instructions)
-        return self._cache[key]
+        if key in self._cache:
+            return self._cache[key]
+        spec = self._spec(benchmark, policy, tag)
+        if policy_factory is None:
+            disk = self.cache.get(self._fingerprint(spec))
+            if disk is not None:
+                self._cache[key] = disk
+                self._report(spec, 0.0, "disk")
+                return disk
+        sim = self.simulator(tag)
+        policy_arg = policy_factory() if policy_factory else policy
+        start = time.perf_counter()
+        result = sim.run_benchmark(benchmark, policy_arg,
+                                   instructions=self.instructions,
+                                   seed=spec.seed)
+        self._report(spec, time.perf_counter() - start, "run")
+        self._memoise(key, spec, result, persist=policy_factory is None)
+        return result
+
+    # -- batched runs -----------------------------------------------------
+
+    @staticmethod
+    def _normalise(request: Request) -> Tuple[str, str, str]:
+        if len(request) == 2:
+            benchmark, policy = request  # type: ignore[misc]
+            return benchmark, policy, "baseline"
+        benchmark, policy, tag = request  # type: ignore[misc]
+        return benchmark, policy, tag
+
+    def run_many(self, requests: Sequence[Request],
+                 jobs: Optional[int] = None) -> List[SimulationResult]:
+        """Results for a whole batch, simulating only the misses.
+
+        Memory hits are returned as-is, disk hits are loaded, and the
+        remaining runs are fanned out across ``jobs`` worker processes
+        (``self.jobs`` by default, serial when 1).  Results come back
+        in request order regardless of worker scheduling.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        normalised = [self._normalise(r) for r in requests]
+        # memo keys share run()'s (tag, benchmark, policy) ordering
+        keys = [(tag, benchmark, policy)
+                for benchmark, policy, tag in normalised]
+        results: List[Optional[SimulationResult]] = [None] * len(keys)
+        todo: List[Tuple[int, Tuple[str, str, str], RunSpec]] = []
+        pending: Dict[Tuple[str, str, str], List[int]] = {}
+        for i, (key, (benchmark, policy, tag)) in enumerate(
+                zip(keys, normalised)):
+            if key in self._cache:
+                # silent: memory hits are free and would flood progress
+                results[i] = self._cache[key]
+                continue
+            if key in pending:        # duplicate request in this batch
+                pending[key].append(i)
+                continue
+            pending[key] = [i]
+            spec = self._spec(benchmark, policy, tag)
+            disk = self.cache.get(self._fingerprint(spec))
+            if disk is not None:
+                self._cache[key] = disk
+                results[i] = disk
+                self._report(spec, 0.0, "disk")
+                continue
+            todo.append((i, key, spec))
+        if todo:
+            fresh = execute_specs([spec for _i, _key, spec in todo],
+                                  self.calibration, jobs=jobs,
+                                  progress=self.progress)
+            for (i, key, spec), result in zip(todo, fresh):
+                results[i] = result
+                self._memoise(key, spec, result, persist=True)
+        for key, indices in pending.items():
+            for i in indices:
+                if results[i] is None:
+                    results[i] = self._cache[key]
+        return results  # type: ignore[return-value]
+
+    def prefetch(self, requests: Sequence[Request],
+                 jobs: Optional[int] = None) -> None:
+        """Warm the cache for a batch; later :meth:`run` calls all hit."""
+        self.run_many(requests, jobs=jobs)
+
+    # -- named shortcuts --------------------------------------------------
 
     def base(self, benchmark: str, tag: str = "baseline") -> SimulationResult:
         return self.run(benchmark, "base", tag)
@@ -110,8 +214,10 @@ class ExperimentRunner:
     def dcg(self, benchmark: str, tag: str = "baseline") -> SimulationResult:
         return self.run(benchmark, "dcg", tag)
 
-    def plb_orig(self, benchmark: str) -> SimulationResult:
-        return self.run(benchmark, "plb-orig")
+    def plb_orig(self, benchmark: str,
+                 tag: str = "baseline") -> SimulationResult:
+        return self.run(benchmark, "plb-orig", tag)
 
-    def plb_ext(self, benchmark: str) -> SimulationResult:
-        return self.run(benchmark, "plb-ext")
+    def plb_ext(self, benchmark: str,
+                tag: str = "baseline") -> SimulationResult:
+        return self.run(benchmark, "plb-ext", tag)

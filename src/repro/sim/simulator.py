@@ -25,7 +25,13 @@ from ..workloads.profiles import BenchmarkProfile, get_profile
 from ..workloads.synthetic import SyntheticTraceGenerator
 from .configs import baseline_config, default_instructions
 
-__all__ = ["SimulationResult", "Simulator", "make_policy"]
+__all__ = ["SimulationResult", "Simulator", "make_policy",
+           "BUILTIN_POLICIES"]
+
+#: policy names :func:`make_policy` understands; these are reserved as
+#: cache keys and may not be rebound to custom policy factories
+BUILTIN_POLICIES = ("base", "dcg", "dcg-delayed-store", "dcg+iq",
+                    "plb-orig", "plb-ext")
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import ExperimentRunner, Simulator
+from repro.sim import ExperimentRunner, ResultCache, Simulator
 
 #: instruction budget for session-scoped simulation fixtures
 QUICK_INSTRUCTIONS = 2_500
@@ -20,8 +20,13 @@ QUICK_INSTRUCTIONS = 2_500
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    """Session-wide memoising experiment runner (small runs)."""
-    return ExperimentRunner(instructions=QUICK_INSTRUCTIONS)
+    """Session-wide memoising experiment runner (small runs).
+
+    The disk cache is explicitly disabled so the suite is hermetic even
+    when the developer has ``REPRO_CACHE_DIR`` exported.
+    """
+    return ExperimentRunner(instructions=QUICK_INSTRUCTIONS,
+                            cache=ResultCache(""))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,118 @@
+"""On-disk result cache: fingerprints, round-trips, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.sim import Simulator, baseline_config, deep_pipeline_config
+from repro.sim.cache import (ResultCache, fingerprint, result_from_dict,
+                             result_to_dict)
+from repro.workloads import get_profile
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One PLB run: exercises stats, mode_cycles, family savings."""
+    return Simulator().run_benchmark("gzip", "plb-ext", instructions=800)
+
+
+# -- fingerprints -----------------------------------------------------------
+
+def test_fingerprint_is_stable():
+    args = (baseline_config(), get_profile("gzip"), "dcg", 8000)
+    assert fingerprint(*args) == fingerprint(*args)
+
+
+def test_fingerprint_separates_axes():
+    profile = get_profile("gzip")
+    base = fingerprint(baseline_config(), profile, "dcg", 8000)
+    assert fingerprint(deep_pipeline_config(), profile, "dcg", 8000) != base
+    assert fingerprint(baseline_config(), profile, "base", 8000) != base
+    assert fingerprint(baseline_config(), profile, "dcg", 4000) != base
+    assert fingerprint(baseline_config(), get_profile("mcf"),
+                       "dcg", 8000) != base
+    assert fingerprint(baseline_config(), profile, "dcg", 8000,
+                       seed=7) != base
+
+
+# -- serialisation ----------------------------------------------------------
+
+def test_result_roundtrip(result):
+    back = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+    assert back.benchmark == result.benchmark
+    assert back.policy == result.policy
+    assert back.cycles == result.cycles
+    assert back.average_power == result.average_power
+    assert back.family_savings == result.family_savings
+    assert back.mode_cycles == result.mode_cycles
+    assert back.fu_toggles == result.fu_toggles
+    # stats survive with enum-keyed tables intact
+    assert back.stats.ipc == result.stats.ipc
+    assert back.stats.commit_class_counts == result.stats.commit_class_counts
+    assert back.stats.fu_utilization == result.stats.fu_utilization
+    assert back.stats.cache_stats == result.stats.cache_stats
+
+
+# -- the store --------------------------------------------------------------
+
+def test_get_put_roundtrip(tmp_path, result):
+    cache = ResultCache(str(tmp_path))
+    key = fingerprint(baseline_config(), get_profile("gzip"),
+                      "plb-ext", 800)
+    assert cache.get(key) is None
+    cache.put(key, result)
+    assert cache.stores == 1
+    loaded = cache.get(key)
+    assert loaded is not None
+    assert loaded.cycles == result.cycles
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_disabled_without_root_or_env(monkeypatch, result):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache = ResultCache()
+    assert not cache.enabled
+    cache.put("deadbeef", result)          # no-op, no crash
+    assert cache.get("deadbeef") is None
+
+
+def test_empty_root_disables(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert not ResultCache("").enabled
+
+
+def test_env_var_sets_root(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache()
+    assert cache.enabled and cache.root == str(tmp_path)
+
+
+def test_corrupt_entry_deleted_and_recomputed(tmp_path, result):
+    cache = ResultCache(str(tmp_path))
+    key = "ab" + "0" * 62
+    cache.put(key, result)
+    path = cache._path(key)
+    with open(path, "w") as handle:
+        handle.write("{ not json")
+    assert cache.get(key) is None           # miss, not a crash
+    assert not os.path.exists(path)          # corrupt file was dropped
+
+
+def test_schema_mismatch_is_a_miss(tmp_path, result):
+    cache = ResultCache(str(tmp_path))
+    key = "cd" + "0" * 62
+    cache.put(key, result)
+    path = cache._path(key)
+    with open(path, "w") as handle:
+        json.dump({"benchmark": "gzip"}, handle)   # missing fields
+    assert cache.get(key) is None
+    assert not os.path.exists(path)
+
+
+def test_clear(tmp_path, result):
+    cache = ResultCache(str(tmp_path))
+    for prefix in ("aa", "bb"):
+        cache.put(prefix + "0" * 62, result)
+    assert cache.clear() == 2
+    assert cache.get("aa" + "0" * 62) is None

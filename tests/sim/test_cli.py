@@ -61,3 +61,78 @@ def test_unknown_benchmark_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["explode"])
+
+
+def test_run_base_policy_simulates_once(monkeypatch, capsys):
+    """Regression: --policy base used to run the same simulation twice."""
+    from repro.sim.simulator import Simulator
+
+    calls = []
+    original = Simulator.run_benchmark
+
+    def counted(self, benchmark, policy="base", **kwargs):
+        calls.append(policy)
+        return original(self, benchmark, policy, **kwargs)
+
+    monkeypatch.setattr(Simulator, "run_benchmark", counted)
+    assert main(["run", "gzip", "--policy", "base",
+                 "--instructions", "800"]) == 0
+    assert calls == ["base"]
+    out = capsys.readouterr().out
+    assert "performance vs base: 100.0%" in out
+
+
+def test_run_non_base_policy_simulates_twice(monkeypatch):
+    from repro.sim.simulator import Simulator
+
+    calls = []
+    original = Simulator.run_benchmark
+
+    def counted(self, benchmark, policy="base", **kwargs):
+        calls.append(policy)
+        return original(self, benchmark, policy, **kwargs)
+
+    monkeypatch.setattr(Simulator, "run_benchmark", counted)
+    assert main(["run", "gzip", "--policy", "dcg",
+                 "--instructions", "800"]) == 0
+    assert calls == ["base", "dcg"]
+
+
+def test_figure_with_jobs(capsys):
+    assert main(["figure", "fig17", "--instructions", "500",
+                 "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "8-stage vs 20-stage" in captured.out
+    assert "cache miss" in captured.err
+    assert "instr/s" in captured.err
+    assert "simulated" in captured.err
+
+
+def test_figure_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig17", "--instructions", "500", "--jobs", "0"])
+
+
+def test_report_smoke(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_INSTRUCTIONS", "150")
+    out = tmp_path / "EXPERIMENTS.md"
+    assert main(["report", "--output", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("# EXPERIMENTS")
+    assert "fig17" in text
+    assert "wall-clock" not in text          # file stays byte-deterministic
+    assert "wall-clock" in capsys.readouterr().err
+
+
+def test_report_warm_cache_skips_simulation(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_INSTRUCTIONS", "150")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cold = tmp_path / "cold.md"
+    warm = tmp_path / "warm.md"
+    assert main(["report", "--output", str(cold)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--output", str(warm)]) == 0
+    err = capsys.readouterr().err
+    assert "0 simulated" in err
+    assert "cache hit (disk)" in err
+    assert cold.read_text() == warm.read_text()

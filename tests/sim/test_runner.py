@@ -55,3 +55,73 @@ def test_policy_factory_for_custom_policies(runner):
 def test_plb_helpers(runner):
     assert runner.plb_orig("gzip").policy == "plb-orig"
     assert runner.plb_ext("gzip").policy == "plb-ext"
+
+
+def test_zero_instructions_rejected():
+    with pytest.raises(ValueError, match="instructions must be positive"):
+        ExperimentRunner(instructions=0)
+
+
+def test_negative_instructions_rejected():
+    with pytest.raises(ValueError, match="instructions must be positive"):
+        ExperimentRunner(instructions=-5)
+
+
+def test_policy_factory_rejected_for_builtin_names(runner):
+    with pytest.raises(ValueError, match="reserved"):
+        runner.run("gzip", "dcg",
+                   policy_factory=lambda: DCGPolicy(gate_latches=False))
+
+
+def test_plb_helpers_accept_tags(runner):
+    deep = runner.plb_ext("gzip", tag="deep")
+    assert deep is runner.run("gzip", "plb-ext", tag="deep")
+    assert deep is not runner.plb_ext("gzip")
+    assert runner.plb_orig("gzip", tag="deep") is \
+        runner.run("gzip", "plb-orig", tag="deep")
+
+
+def test_run_many_returns_request_order(runner):
+    requests = [("gzip", "dcg"), ("mcf", "base"),
+                ("gzip", "dcg", "deep"), ("gzip", "dcg")]
+    results = runner.run_many(requests)
+    assert [r.benchmark for r in results] == ["gzip", "mcf", "gzip", "gzip"]
+    assert results[0] is results[3]          # duplicates share one run
+    assert results[0] is runner.run("gzip", "dcg")
+    assert results[2] is runner.run("gzip", "dcg", tag="deep")
+
+
+def test_prefetch_warms_the_memo(runner):
+    runner.prefetch([("vpr", "base"), ("vpr", "dcg")])
+    assert ("baseline", "vpr", "base") in runner._cache
+    assert ("baseline", "vpr", "dcg") in runner._cache
+
+
+def test_disk_cache_shared_across_runners(tmp_path):
+    from repro.sim import ResultCache
+    root = str(tmp_path / "cache")
+    first = ExperimentRunner(instructions=900, cache=ResultCache(root))
+    hot = first.run("gzip", "dcg")
+    assert first.cache.stores == 1
+    second = ExperimentRunner(instructions=900, cache=ResultCache(root))
+    replayed = second.run("gzip", "dcg")
+    assert second.cache.hits == 1
+    assert (replayed.cycles, replayed.average_power) == \
+        (hot.cycles, hot.average_power)
+
+
+def test_factory_runs_stay_out_of_the_disk_cache(tmp_path):
+    from repro.sim import ResultCache
+    runner = ExperimentRunner(
+        instructions=900, cache=ResultCache(str(tmp_path / "cache")))
+    runner.run("gzip", "dcg-no-latches",
+               policy_factory=lambda: DCGPolicy(gate_latches=False))
+    assert runner.cache.stores == 0
+
+
+def test_run_many_parallel_matches_serial(tmp_path):
+    requests = [("gzip", "base"), ("gzip", "dcg"), ("mcf", "dcg")]
+    serial = ExperimentRunner(instructions=700).run_many(requests)
+    parallel = ExperimentRunner(instructions=700, jobs=2).run_many(requests)
+    for s, p in zip(serial, parallel):
+        assert (s.cycles, s.average_power) == (p.cycles, p.average_power)
