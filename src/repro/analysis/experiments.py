@@ -13,11 +13,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..sim.runner import ExperimentRunner
+from ..sim.simulator import BUILTIN_POLICIES
 from ..workloads.profiles import ALL_BENCHMARKS, FP_BENCHMARKS, INT_BENCHMARKS
 from .tables import format_table, pct
 
 __all__ = [
     "ExperimentResult",
+    "policy_comparison",
     "fig10_total_power",
     "fig11_power_delay",
     "fig12_int_units",
@@ -292,6 +294,28 @@ def sec44_int_alu_sweep(runner: ExperimentRunner) -> ExperimentResult:
     result.measured["mean_rel_6"] = _mean(rel6)
     result.measured["mean_rel_4"] = _mean(rel4)
     return result
+
+
+def policy_comparison(runner: ExperimentRunner,
+                      benchmark: str) -> ExperimentResult:
+    """Every built-in policy on one benchmark, side by side.
+
+    Backs the CLI's ``compare`` command; the whole column is fetched in
+    one :meth:`~repro.sim.runner.ExperimentRunner.run_many` batch, so
+    it parallelises across ``--jobs`` workers and replays from the
+    memory/disk caches like the figure harnesses do.
+    """
+    policies = list(BUILTIN_POLICIES)
+    results = runner.run_many([(benchmark, policy) for policy in policies])
+    base = results[policies.index("base")]
+    table = ExperimentResult(
+        "compare", f"all policies on {benchmark}",
+        ["policy", "cycles", "IPC", "saved", "perf"])
+    for policy, result in zip(policies, results):
+        table.rows.append([policy, result.cycles, f"{result.ipc:.2f}",
+                           pct(result.total_saving),
+                           pct(result.performance_relative(base))])
+    return table
 
 
 def full_grid() -> List:

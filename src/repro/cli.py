@@ -8,11 +8,14 @@ Subcommands
 ``report``   regenerate every experiment and write EXPERIMENTS.md
 ``budget``   print the per-structure power budget of a configuration
 ``bench``    list the available benchmark profiles
+``serve``    run the simulation service (job queue + HTTP API)
+``submit``   submit one run to a running service
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -25,6 +28,7 @@ from .analysis.experiments import (
     fig15_dcache,
     fig16_result_bus,
     fig17_deep_pipeline,
+    policy_comparison,
     sec44_int_alu_sweep,
 )
 from .analysis.report import write_experiments_md
@@ -51,6 +55,35 @@ _POLICIES = ("base", "dcg", "dcg-delayed-store", "dcg+iq",
               "plb-orig", "plb-ext")
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for budgets/worker counts: integer >= 1.
+
+    Rejecting non-positive values at the parser keeps them from ever
+    reaching :class:`ExperimentRunner` (which would raise) or a worker
+    pool (which would hang on zero workers)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})")
+    return value
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes for the simulation grid "
+                             "(default: $REPRO_JOBS or 1)")
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="route cache misses to a shared simulation "
+                             "service (e.g. http://host:8765)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,33 +93,65 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one benchmark")
     run.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
     run.add_argument("--policy", choices=_POLICIES, default="dcg")
-    run.add_argument("--instructions", type=int, default=10_000)
+    run.add_argument("--instructions", type=_positive_int, default=10_000)
     run.add_argument("--deep", action="store_true",
                      help="use the 20-stage machine")
 
     compare = sub.add_parser("compare", help="all policies on one benchmark")
     compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
-    compare.add_argument("--instructions", type=int, default=10_000)
+    compare.add_argument("--instructions", type=_positive_int,
+                         default=10_000)
+    _add_jobs_flag(compare)
+    _add_server_flag(compare)
 
     figure = sub.add_parser("figure", help="regenerate a table/figure")
     figure.add_argument("id", choices=sorted(k for k, v in _FIGURES.items()
                                              if v is not None))
-    figure.add_argument("--instructions", type=int, default=None)
-    figure.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for the simulation grid "
-                             "(default: $REPRO_JOBS or 1)")
+    figure.add_argument("--instructions", type=_positive_int, default=None)
+    _add_jobs_flag(figure)
+    _add_server_flag(figure)
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("--output", default="EXPERIMENTS.md")
-    report.add_argument("--instructions", type=int, default=None)
-    report.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for the simulation grid "
-                             "(default: $REPRO_JOBS or 1)")
+    report.add_argument("--instructions", type=_positive_int, default=None)
+    _add_jobs_flag(report)
+    _add_server_flag(report)
 
     budget = sub.add_parser("budget", help="print the power budget")
     budget.add_argument("--deep", action="store_true")
 
     sub.add_parser("bench", help="list benchmark profiles")
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation service (queue + HTTP API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--jobs", type=_positive_int, default=None,
+                       help="worker threads (default: $REPRO_JOBS or 2)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=64,
+                       help="queued-job bound before 429 backpressure")
+    serve.add_argument("--instructions", type=_positive_int, default=None,
+                       help="default per-run budget for submitted jobs")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock limit; enables subprocess "
+                            "isolation and one crash retry")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    submit = sub.add_parser(
+        "submit", help="submit one run to a running service")
+    submit.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    submit.add_argument("--policy", choices=_POLICIES, default="dcg")
+    submit.add_argument("--tag", default="baseline",
+                        help="machine configuration tag (see sim.configs)")
+    submit.add_argument("--instructions", type=_positive_int, default=None)
+    submit.add_argument("--server", default=None, metavar="URL",
+                        help="service URL (default: $REPRO_SERVICE_URL or "
+                             "http://127.0.0.1:8765)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block for the result and print a summary")
+    submit.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                        help="how long --wait waits before giving up")
     return parser
 
 
@@ -97,6 +162,7 @@ class _ProgressPrinter:
         self.completed = 0
         self.simulated = 0
         self.disk_hits = 0
+        self.remote = 0
 
     def __call__(self, report: RunReport) -> None:
         self.completed += 1
@@ -107,6 +173,9 @@ class _ProgressPrinter:
         if report.source == "disk":
             self.disk_hits += 1
             detail = "cache hit (disk)"
+        elif report.source == "remote":
+            self.remote += 1
+            detail = f"{report.seconds:6.2f}s  served by remote service"
         else:
             self.simulated += 1
             rate = report.instructions_per_second
@@ -116,17 +185,39 @@ class _ProgressPrinter:
               file=sys.stderr)
 
     def summary(self) -> str:
-        return (f"{self.completed} runs: {self.simulated} simulated, "
+        line = (f"{self.completed} runs: {self.simulated} simulated, "
                 f"{self.disk_hits} disk-cache hits")
+        if self.remote:
+            line += f", {self.remote} remote"
+        return line
+
+
+def _jobs_or_exit(args: argparse.Namespace, default: int = 1) -> int:
+    """--jobs (argparse-validated) or $REPRO_JOBS, validated here.
+
+    The environment variable bypasses argparse, so it gets the same
+    positive-integer check at the CLI boundary instead of surfacing as
+    a traceback from deep inside the pool."""
+    if args.jobs is not None:
+        return args.jobs
+    try:
+        return default_jobs(default)
+    except ValueError:
+        raise SystemExit(
+            "REPRO_JOBS must be a positive integer "
+            f"(got {os.environ.get('REPRO_JOBS')!r})") from None
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    """Runner for grid commands: --jobs / $REPRO_JOBS and progress."""
-    jobs = args.jobs if args.jobs is not None else default_jobs()
-    if jobs <= 0:
-        raise SystemExit("--jobs must be positive")
-    return ExperimentRunner(instructions=args.instructions, jobs=jobs,
-                            progress=_ProgressPrinter())
+    """Runner for grid commands: --jobs / $REPRO_JOBS, progress, and
+    an optional --server remote executor."""
+    remote = None
+    if getattr(args, "server", None):
+        from .service.client import ServiceClient
+        remote = ServiceClient(args.server)
+    return ExperimentRunner(instructions=args.instructions,
+                            jobs=_jobs_or_exit(args),
+                            progress=_ProgressPrinter(), remote=remote)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -151,17 +242,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    sim = Simulator()
-    base = sim.run_benchmark(args.benchmark, "base",
-                             instructions=args.instructions)
-    print(f"{'policy':18s} {'cycles':>8s} {'IPC':>6s} "
-          f"{'saved':>7s} {'perf':>7s}")
-    for policy in _POLICIES:
-        result = sim.run_benchmark(args.benchmark, policy,
-                                   instructions=args.instructions)
-        print(f"{policy:18s} {result.cycles:8d} {result.ipc:6.2f} "
-              f"{result.total_saving:7.1%} "
-              f"{result.performance_relative(base):7.1%}")
+    # batched through the runner so compare shares the disk cache,
+    # --jobs fan-out, and progress lines with figure/report
+    runner = _make_runner(args)
+    table = policy_comparison(runner, args.benchmark)
+    print(runner.progress.summary(), file=sys.stderr)
+    print(table.render())
     return 0
 
 
@@ -214,6 +300,59 @@ def _cmd_bench(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SimulationService
+    from .service.server import serve as serve_service
+    workers = _jobs_or_exit(args, default=2)
+    service = SimulationService(instructions=args.instructions,
+                                workers=workers,
+                                queue_depth=args.queue_depth,
+                                timeout=args.timeout)
+    cache_note = service.runner.cache.root or "off (set REPRO_CACHE_DIR)"
+    print(f"repro service on http://{args.host}:{args.port}  "
+          f"[{workers} worker(s), queue depth {args.queue_depth}, "
+          f"disk cache {cache_note}]", file=sys.stderr)
+    accepted = serve_service(service, host=args.host, port=args.port,
+                             verbose=args.verbose)
+    counters = service.queue.counters()
+    print(f"shutdown: {accepted} jobs accepted, {counters['done']} done, "
+          f"{counters['failed']} failed, {counters['requeued']} re-queued, "
+          f"{service.queue.depth} still queued", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import (BackpressureError, ServiceClient,
+                                 ServiceError)
+    client = ServiceClient(args.server)
+    fields = {"benchmark": args.benchmark, "policy": args.policy,
+              "tag": args.tag}
+    if args.instructions is not None:
+        fields["instructions"] = args.instructions
+    try:
+        job = client.submit_one(**fields)
+    except BackpressureError as exc:
+        raise SystemExit(f"server queue is full, retry later: {exc}")
+    except ServiceError as exc:
+        raise SystemExit(f"submit failed: {exc}")
+    verb = "joined in-flight" if job.get("deduped") else "queued as"
+    print(f"{args.benchmark}/{args.policy} {verb} job {job['id']}",
+          file=sys.stderr)
+    if not args.wait:
+        print(job["id"])
+        return 0
+    try:
+        result = client.result(job["id"], timeout=args.timeout)
+    except ServiceError as exc:
+        raise SystemExit(f"job {job['id']}: {exc}")
+    print(f"{result.benchmark} under {result.policy}: "
+          f"{result.cycles} cycles, IPC {result.ipc:.2f}")
+    print(f"power: {result.average_power:.2f} W of "
+          f"{result.base_power:.2f} W base "
+          f"({result.total_saving:.1%} saved)")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -221,6 +360,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "budget": _cmd_budget,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

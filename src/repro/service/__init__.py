@@ -1,0 +1,38 @@
+"""Simulation service: job queue, worker pool, HTTP server, client.
+
+The serving layer over the cached parallel runner — accept simulation
+requests over the network, dedup and queue them, drain them through the
+memory -> disk -> simulate resolution path, and answer repeats straight
+from the cache.  ``python -m repro serve`` boots it; ``python -m repro
+submit`` and :class:`ServiceClient` talk to it.
+"""
+
+from .client import (BackpressureError, JobFailed, ServiceClient,
+                     ServiceError, ServiceTimeout, default_server_url)
+from .jobs import (Job, JobQueue, JobState, QueueFull, make_spec,
+                   spec_fingerprint, validate_spec)
+from .server import ServiceServer, SimulationService, serve
+from .workers import JobTimeout, ShutdownRequested, WorkerCrash, WorkerPool
+
+__all__ = [
+    "BackpressureError",
+    "Job",
+    "JobFailed",
+    "JobQueue",
+    "JobState",
+    "JobTimeout",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceTimeout",
+    "ShutdownRequested",
+    "SimulationService",
+    "WorkerCrash",
+    "WorkerPool",
+    "default_server_url",
+    "make_spec",
+    "serve",
+    "spec_fingerprint",
+    "validate_spec",
+]

@@ -1,0 +1,209 @@
+"""``urllib`` client for the simulation service.
+
+:class:`ServiceClient` speaks the JSON API in
+:mod:`repro.service.server` with retry/backoff on connection errors and
+typed exceptions for the interesting failure modes: `BackpressureError`
+for a 429 (the queue is full — back off and resubmit), `JobFailed` for
+a job whose simulation failed server-side, and `ServiceTimeout` when a
+result does not arrive in time.
+
+The client doubles as the :class:`~repro.sim.runner.ExperimentRunner`
+remote executor: ``run_specs`` submits a batch (riding out
+backpressure) and collects results in submission order, which is all
+``ExperimentRunner(remote=client)`` needs to route ``figure``/
+``report`` grids to a shared server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..sim.cache import result_from_dict
+from ..sim.parallel import RunSpec
+from ..sim.simulator import SimulationResult
+
+__all__ = ["BackpressureError", "JobFailed", "ServiceClient", "ServiceError",
+           "ServiceTimeout", "default_server_url", "SERVER_ENV_VAR"]
+
+#: environment variable naming the default service URL
+SERVER_ENV_VAR = "REPRO_SERVICE_URL"
+
+
+def default_server_url(default: str = "http://127.0.0.1:8765") -> str:
+    """Service URL from ``$REPRO_SERVICE_URL``, else ``default``."""
+    return os.environ.get(SERVER_ENV_VAR) or default
+
+
+class ServiceError(RuntimeError):
+    """Any service-level failure; carries the HTTP status and payload."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class BackpressureError(ServiceError):
+    """The server's queue is full (HTTP 429); retry after a delay."""
+
+
+class JobFailed(ServiceError):
+    """The job ran and failed server-side; retrying won't help."""
+
+
+class ServiceTimeout(ServiceError):
+    """No result within the allotted time (job may still complete)."""
+
+
+class ServiceClient:
+    """Small blocking client over ``urllib``.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8765`` (default:
+        ``$REPRO_SERVICE_URL``).
+    retries / backoff:
+        Connection-error retries per request and the base sleep between
+        them (doubling each attempt).  HTTP-level errors are never
+        retried here — they are semantic answers, not flakiness.
+    timeout:
+        Socket timeout per request, seconds.
+    """
+
+    def __init__(self, base_url: Optional[str] = None, retries: int = 3,
+                 backoff: float = 0.2, timeout: float = 30.0) -> None:
+        self.base_url = (base_url or default_server_url()).rstrip("/")
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=timeout or self.timeout) as reply:
+                    return json.loads(reply.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                payload = self._error_payload(exc)
+                message = payload.get("error", str(exc))
+                if exc.code == 429:
+                    raise BackpressureError(message, exc.code, payload)
+                if exc.code == 504:
+                    raise ServiceTimeout(message, exc.code, payload)
+                if exc.code == 500 and "job" in payload:
+                    raise JobFailed(message, exc.code, payload)
+                raise ServiceError(message, exc.code, payload)
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    OSError) as exc:
+                if attempt >= self.retries:
+                    raise ServiceError(
+                        f"cannot reach {self.base_url}: {exc}") from exc
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return {}
+
+    # -- endpoints --------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(self, runs: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Submit a batch of loose request dicts; job records back.
+
+        Raises :class:`BackpressureError` when the queue fills mid-
+        batch; its ``payload["jobs"]`` lists what was accepted first.
+        """
+        return self._request("POST", "/v1/runs",
+                             {"runs": list(runs)})["jobs"]
+
+    def submit_one(self, **fields: Any) -> Dict[str, Any]:
+        """Submit a single run, e.g. ``submit_one(benchmark="gzip")``."""
+        return self.submit([fields])[0]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/runs/{job_id}")
+
+    def result(self, job_id: str,
+               timeout: float = 300.0) -> SimulationResult:
+        """Block until ``job_id`` finishes; its decoded result.
+
+        Re-polls across server-side wait windows until ``timeout``
+        seconds have passed, then raises :class:`ServiceTimeout`.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceTimeout(
+                    f"job {job_id} produced no result in {timeout:.0f}s")
+            window = min(30.0, remaining)
+            try:
+                reply = self._request(
+                    "GET", f"/v1/runs/{job_id}/result?timeout={window:.3f}",
+                    timeout=window + self.timeout)
+            except ServiceTimeout:
+                continue                     # server-side wait expired
+            return result_from_dict(reply["result"])
+
+    # -- ExperimentRunner remote executor ---------------------------------
+
+    def run_specs(self, specs: Sequence[RunSpec], priority: int = 0,
+                  timeout: float = 600.0) -> List[SimulationResult]:
+        """Results for a batch of specs, in submission order.
+
+        Rides out 429 backpressure by resubmitting the rejected tail
+        with exponential backoff until ``timeout`` expires; the server
+        dedups any overlap, so resubmission is idempotent.
+        """
+        deadline = time.monotonic() + timeout
+        fields = [{
+            "benchmark": spec.benchmark, "policy": spec.policy,
+            "tag": spec.tag, "instructions": spec.instructions,
+            "seed": spec.seed, "priority": priority,
+        } for spec in specs]
+        job_ids: List[str] = []
+        delay = max(self.backoff, 0.05)
+        while fields:
+            try:
+                jobs = self.submit(fields)
+            except BackpressureError as exc:
+                accepted = exc.payload.get("jobs", [])
+                job_ids.extend(job["id"] for job in accepted)
+                fields = fields[len(accepted):]
+                if time.monotonic() + delay > deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 5.0)
+                continue
+            job_ids.extend(job["id"] for job in jobs)
+            break
+        return [self.result(job_id,
+                            timeout=max(1.0, deadline - time.monotonic()))
+                for job_id in job_ids]

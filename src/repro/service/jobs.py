@@ -1,0 +1,329 @@
+"""Thread-safe job queue for the simulation service.
+
+A :class:`Job` wraps one :class:`~repro.sim.parallel.RunSpec` on its way
+through the service: ``queued -> running -> done | failed``, with a
+``running -> queued`` edge when a shutdown re-queues work in flight.
+
+:class:`JobQueue` is the single synchronisation point between the HTTP
+front end and the worker pool:
+
+* **Deduplication** — two submissions whose specs share a cache
+  fingerprint (the same content hash the disk cache uses) while the
+  first is still in flight return the *same* job, so a popular request
+  is simulated once no matter how many clients ask for it.
+* **FIFO with priority** — jobs pop in submission order within a
+  priority class; a higher ``priority`` integer pops sooner.
+* **Bounded depth with backpressure** — ``submit`` raises
+  :class:`QueueFull` once ``maxsize`` jobs are waiting.  The server
+  turns that into a 429 response; nothing is ever dropped silently.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..power.budget import PowerCalibration
+from ..sim.cache import fingerprint
+from ..sim.configs import config_from_tag
+from ..sim.parallel import RunSpec
+from ..sim.simulator import BUILTIN_POLICIES, SimulationResult
+from ..workloads.profiles import get_profile
+
+__all__ = ["Job", "JobQueue", "JobState", "QueueFull", "make_spec",
+           "spec_fingerprint", "validate_spec"]
+
+
+class QueueFull(RuntimeError):
+    """``submit`` would exceed the queue's bounded depth."""
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+# -- spec plumbing ----------------------------------------------------------
+
+def make_spec(benchmark: str, policy: str = "dcg", tag: str = "baseline",
+              instructions: Optional[int] = None,
+              seed: Optional[int] = None) -> RunSpec:
+    """Validated :class:`RunSpec` from loose request fields.
+
+    Resolves the profile's canonical name and default seed exactly the
+    way :class:`~repro.sim.runner.ExperimentRunner` does, so a job
+    submitted over the wire lands on the same cache fingerprint as a
+    local run.
+    """
+    profile = get_profile(benchmark)        # raises KeyError with names
+    if instructions is None:
+        from ..sim.configs import default_instructions
+        instructions = default_instructions()
+    spec = RunSpec(tag=tag, benchmark=profile.name, policy=policy,
+                   instructions=int(instructions),
+                   seed=profile.seed if seed is None else int(seed))
+    validate_spec(spec)
+    return spec
+
+
+def validate_spec(spec: RunSpec) -> None:
+    """Raise ``ValueError`` with a readable message on any bad field."""
+    try:
+        get_profile(spec.benchmark)
+    except KeyError as exc:
+        raise ValueError(str(exc).strip('"')) from None
+    if spec.policy not in BUILTIN_POLICIES:
+        valid = ", ".join(BUILTIN_POLICIES)
+        raise ValueError(f"unknown policy {spec.policy!r}; "
+                         f"choose one of: {valid}")
+    config_from_tag(spec.tag)               # raises ValueError on bad tag
+    if spec.instructions <= 0:
+        raise ValueError("instructions must be positive")
+
+
+def spec_fingerprint(spec: RunSpec,
+                     calibration: Optional[PowerCalibration] = None) -> str:
+    """The spec's disk-cache content hash — the service's dedup key."""
+    return fingerprint(config_from_tag(spec.tag), get_profile(spec.benchmark),
+                       spec.policy, spec.instructions, calibration, spec.seed)
+
+
+# -- jobs -------------------------------------------------------------------
+
+@dataclass
+class Job:
+    """One accepted simulation request and its lifecycle record."""
+
+    id: str
+    spec: RunSpec
+    key: str                                 #: cache fingerprint (dedup key)
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    result: Optional[SimulationResult] = None
+    error: Optional[str] = None
+    source: Optional[str] = None             #: "run" | "memory" | "disk"
+    attempts: int = 0                        #: compute attempts (retries)
+    requeues: int = 0                        #: shutdown re-queues
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    _seq: int = 0                            #: FIFO position within priority
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is done or failed; False on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
+    def seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-encodable status record (results travel separately)."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "benchmark": self.spec.benchmark,
+            "policy": self.spec.policy,
+            "tag": self.spec.tag,
+            "instructions": self.spec.instructions,
+            "seed": self.spec.seed,
+            "key": self.key,
+            "priority": self.priority,
+            "source": self.source,
+            "error": self.error,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "seconds": self.seconds,
+        }
+
+
+class JobQueue:
+    """Bounded, deduplicating, priority-FIFO job queue.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of *queued* (not yet running) jobs; ``submit``
+        raises :class:`QueueFull` beyond it.
+    calibration:
+        Power calibration folded into each spec's dedup fingerprint.
+    """
+
+    def __init__(self, maxsize: int = 64,
+                 calibration: Optional[PowerCalibration] = None) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.calibration = calibration or PowerCalibration()
+        self._cond = threading.Condition()
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}      # fingerprint -> live job
+        self._seq = itertools.count()
+        self._closed = False
+        # counters for /metrics
+        self.submitted = 0
+        self.deduped = 0
+        self.rejected = 0
+        self.done = 0
+        self.failed = 0
+        self.requeued = 0
+
+    # -- submission side --------------------------------------------------
+
+    def submit(self, spec: RunSpec, priority: int = 0,
+               key: Optional[str] = None) -> Tuple[Job, bool]:
+        """Accept ``spec``; returns ``(job, created)``.
+
+        ``created`` is False when an identical spec was already queued
+        or running — the caller shares that job.  Dedup wins over
+        backpressure: a duplicate of an in-flight spec is accepted even
+        when the queue is full, because it adds no work.
+        """
+        if key is None:
+            key = spec_fingerprint(spec, self.calibration)
+        with self._cond:
+            live = self._inflight.get(key)
+            if live is not None and not live.finished:
+                self.deduped += 1
+                return live, False
+            if self._closed:
+                raise QueueFull("queue is shut down")
+            queued = sum(1 for _p, _s, job in self._heap
+                         if job.state is JobState.QUEUED)
+            if queued >= self.maxsize:
+                self.rejected += 1
+                raise QueueFull(
+                    f"queue depth limit reached ({self.maxsize} jobs "
+                    "waiting); retry after some complete")
+            job = Job(id=uuid.uuid4().hex[:12], spec=spec, key=key,
+                      priority=priority, submitted_at=time.time(),
+                      _seq=next(self._seq))
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+            self._push(job)
+            self.submitted += 1
+            self._cond.notify()
+            return job, True
+
+    def _push(self, job: Job) -> None:
+        # negative priority: larger ``priority`` pops first; ``_seq``
+        # keeps FIFO order within a class and survives re-queueing so a
+        # re-queued job returns to its original position
+        heapq.heappush(self._heap, (-job.priority, job._seq, job))
+
+    # -- worker side ------------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next queued job (marking it running), else None.
+
+        Blocks up to ``timeout`` seconds (forever when None) for work;
+        returns None on timeout or once the queue is closed and empty.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _p, _s, job = heapq.heappop(self._heap)
+                    if job.state is not JobState.QUEUED:
+                        continue             # stale entry (re-queued twice)
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if not self._heap:
+                            return None
+
+    def complete(self, job: Job, result: SimulationResult,
+                 source: str = "run") -> None:
+        """Mark ``job`` done and wake everything waiting on it."""
+        with self._cond:
+            job.result = result
+            job.source = source
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+            self._inflight.pop(job.key, None)
+            self.done += 1
+        job._done.set()
+
+    def fail(self, job: Job, error: str) -> None:
+        """Mark ``job`` failed; the error travels to every waiter."""
+        with self._cond:
+            job.error = error
+            job.state = JobState.FAILED
+            job.finished_at = time.time()
+            self._inflight.pop(job.key, None)
+            self.failed += 1
+        job._done.set()
+
+    def requeue(self, job: Job) -> None:
+        """Put a running job back (shutdown path); keeps FIFO position.
+
+        Re-queueing is exempt from the depth bound — the job was
+        already accepted and must not be lost to backpressure.
+        """
+        with self._cond:
+            job.state = JobState.QUEUED
+            job.started_at = None
+            job.requeues += 1
+            self._push(job)
+            self.requeued += 1
+            self._cond.notify()
+
+    # -- introspection ----------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting to run (the backpressure measure)."""
+        with self._cond:
+            return sum(1 for _p, _s, job in self._heap
+                       if job.state is JobState.QUEUED)
+
+    @property
+    def running(self) -> int:
+        with self._cond:
+            return sum(1 for job in self._jobs.values()
+                       if job.state is JobState.RUNNING)
+
+    def counters(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "submitted": self.submitted,
+                "deduped": self.deduped,
+                "rejected": self.rejected,
+                "done": self.done,
+                "failed": self.failed,
+                "requeued": self.requeued,
+            }
+
+    def close(self) -> None:
+        """Refuse new work and wake blocked :meth:`take` calls."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

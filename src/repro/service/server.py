@@ -1,0 +1,293 @@
+"""Stdlib HTTP server for the simulation service.
+
+:class:`SimulationService` bundles the queue, worker pool, and a
+disk-backed :class:`~repro.sim.runner.ExperimentRunner`;
+:class:`ServiceServer` exposes it as a small JSON API:
+
+========================  ==================================================
+``POST /v1/runs``         submit one spec or a ``{"runs": [...]}`` batch;
+                          202 with job records, 429 when the queue is full,
+                          400 on an invalid spec
+``GET /v1/runs/<id>``     job status
+``GET /v1/runs/<id>/result``  block (``?timeout=`` seconds) for the result
+``GET /healthz``          liveness + queue/worker summary
+``GET /metrics``          queue depth, done/failed counts, cache hit
+                          ratio, p50/p95 job wall-clock
+========================  ==================================================
+
+Everything is standard library (``http.server``); the threading server
+gives each request its own thread, so blocking result waits don't
+starve status polls.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..power.budget import PowerCalibration
+from ..sim.cache import ResultCache, result_to_dict
+from ..sim.runner import ExperimentRunner
+from .jobs import Job, JobQueue, QueueFull, make_spec
+from .workers import WorkerPool
+
+__all__ = ["ServiceServer", "SimulationService", "serve"]
+
+#: default TCP port for ``repro serve`` / ``repro submit``
+DEFAULT_PORT = 8765
+
+_RUN_PATH = re.compile(r"^/v1/runs/(?P<id>[0-9a-f]+)(?P<result>/result)?$")
+
+
+class SimulationService:
+    """Queue + worker pool + cached runner, independent of HTTP.
+
+    Parameters mirror the CLI: ``workers`` simulation threads, a
+    ``queue_depth`` backpressure bound, an optional per-job ``timeout``
+    (enables subprocess isolation + crash retry), and the usual
+    instruction budget / calibration / disk-cache knobs.
+    """
+
+    def __init__(self, instructions: Optional[int] = None,
+                 calibration: Optional[PowerCalibration] = None,
+                 cache: Optional[ResultCache] = None,
+                 workers: int = 2, queue_depth: int = 64,
+                 timeout: Optional[float] = None,
+                 compute=None) -> None:
+        self.runner = ExperimentRunner(instructions=instructions,
+                                       calibration=calibration, cache=cache)
+        self.queue = JobQueue(maxsize=queue_depth,
+                              calibration=self.runner.calibration)
+        self.pool = WorkerPool(self.queue, self.runner, workers=workers,
+                               timeout=timeout, compute=compute)
+        self.started_at = time.time()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self.pool.start()
+
+    def stop(self) -> None:
+        """Stop workers; in-flight jobs are re-queued, none are lost."""
+        self.pool.stop()
+        self.queue.close()
+
+    # -- request handling -------------------------------------------------
+
+    def submit(self, fields: Dict[str, Any]) -> Tuple[Job, bool]:
+        """Accept one loose request dict; (job, created).
+
+        Raises ``ValueError`` on a bad spec and
+        :class:`~repro.service.jobs.QueueFull` under backpressure.
+        """
+        try:
+            spec = make_spec(
+                benchmark=fields["benchmark"],
+                policy=fields.get("policy", "dcg"),
+                tag=fields.get("tag", "baseline"),
+                instructions=(fields.get("instructions")
+                              or self.runner.instructions),
+                seed=fields.get("seed"))
+        except KeyError as exc:
+            raise ValueError(f"missing or unknown field: {exc}") from None
+        priority = int(fields.get("priority", 0))
+        return self.queue.submit(spec, priority=priority)
+
+    def metrics(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "queue_depth": self.queue.depth,
+            "queue_max_depth": self.queue.maxsize,
+            "running": self.queue.running,
+            "workers": self.pool.workers,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+        data.update(self.queue.counters())
+        data.update(self.pool.metrics())
+        return data
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "workers": self.pool.workers,
+            "queue_depth": self.queue.depth,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the five endpoints onto the owning service."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- endpoints --------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if urlparse(self.path).path != "/v1/runs":
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        service = self.server.service
+        try:
+            data = self._read_json()
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        requests: List[Dict[str, Any]] = (
+            data["runs"] if "runs" in data else [data])
+        jobs: List[Tuple[Job, bool]] = []
+        try:
+            for fields in requests:
+                jobs.append(service.submit(fields))
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except QueueFull as exc:
+            # batch semantics: all-or-nothing is impossible once some
+            # jobs are queued, so report what was accepted alongside
+            # the rejection — the client retries the remainder
+            self._send(429, {
+                "error": str(exc),
+                "queue_depth": service.queue.depth,
+                "queue_max_depth": service.queue.maxsize,
+                "jobs": [dict(job.to_dict(), deduped=not created)
+                         for job, created in jobs],
+            })
+            return
+        self._send(202, {
+            "jobs": [dict(job.to_dict(), deduped=not created)
+                     for job, created in jobs],
+        })
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        service = self.server.service
+        if parsed.path == "/healthz":
+            self._send(200, service.health())
+            return
+        if parsed.path == "/metrics":
+            self._send(200, service.metrics())
+            return
+        match = _RUN_PATH.match(parsed.path)
+        if match is None:
+            self._send(404, {"error": f"no such endpoint: {parsed.path}"})
+            return
+        job = service.queue.get(match.group("id"))
+        if job is None:
+            self._send(404, {"error": f"no such job: {match.group('id')}"})
+            return
+        if not match.group("result"):
+            self._send(200, job.to_dict())
+            return
+        query = parse_qs(parsed.query)
+        timeout = float(query.get("timeout", ["60"])[0])
+        if not job.wait(timeout=timeout):
+            self._send(504, {"error": "timed out waiting for the result",
+                             "job": job.to_dict()})
+            return
+        if job.error is not None:
+            self._send(500, {"error": job.error, "job": job.to_dict()})
+            return
+        self._send(200, {"job": job.to_dict(),
+                         "result": result_to_dict(job.result)})
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to a :class:`SimulationService`.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.port``.  :meth:`ServiceServer.shutdown` stops the HTTP
+    loop only — call :meth:`SimulationService.stop` for the workers.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 verbose: bool = False) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests and embedded use)."""
+        self.service.start()
+        thread = threading.Thread(target=self.serve_forever, daemon=True,
+                                  name="repro-service-http")
+        thread.start()
+        return thread
+
+
+def serve(service: SimulationService, host: str = "127.0.0.1",
+          port: int = DEFAULT_PORT, verbose: bool = False,
+          ready: Optional[threading.Event] = None) -> int:
+    """Run the service until interrupted; returns accepted-job count.
+
+    Ctrl-C / SIGTERM stop the HTTP loop, then shut the pool down
+    gracefully: running jobs are re-queued, so every accepted job ends
+    the session either done or still queued — never lost.  Handlers
+    are registered explicitly because a backgrounded server (CI, shell
+    scripts) often inherits SIGINT as ignored.
+    """
+    import signal
+
+    server = ServiceServer(service, host=host, port=port, verbose=verbose)
+    service.start()
+
+    def _interrupt(_signum, _frame) -> None:
+        raise KeyboardInterrupt
+
+    previous = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous.append((signum, signal.signal(signum, _interrupt)))
+        except (ValueError, OSError):        # not the main thread
+            pass
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+        server.server_close()
+        service.stop()
+    return service.queue.submitted

@@ -1,0 +1,254 @@
+"""Worker pool draining the job queue into the simulation stack.
+
+Each worker thread resolves jobs through the same path the batch
+runner uses — in-memory memo, then the on-disk
+:class:`~repro.sim.cache.ResultCache`, then an actual simulation — so a
+repeat request over HTTP is as cheap as a repeat request in-process.
+
+Simulations run inline by default; give the pool a ``timeout`` and each
+one runs in a forked child process instead, which buys two guarantees
+the paper-grid runner never needed: a wall-clock limit per job, and one
+automatic retry when the child dies without producing a result.  A
+stopping pool re-queues whatever it was computing, so an accepted job
+survives Ctrl-C as either a result or a queued entry — never a loss.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..sim.cache import result_from_dict, result_to_dict
+from ..sim.parallel import RunSpec, simulate_spec
+from ..sim.runner import ExperimentRunner
+from ..sim.simulator import SimulationResult
+from .jobs import Job, JobQueue
+
+__all__ = ["JobTimeout", "ShutdownRequested", "WorkerCrash", "WorkerPool",
+           "percentile"]
+
+
+class WorkerCrash(RuntimeError):
+    """The compute step died without producing a result (retried once)."""
+
+
+class JobTimeout(RuntimeError):
+    """The compute step exceeded the pool's per-job timeout (no retry)."""
+
+
+class ShutdownRequested(RuntimeError):
+    """Raised inside a compute step interrupted by pool shutdown; the
+    worker re-queues the job instead of failing it."""
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+# -- subprocess compute (timeout + crash isolation) -------------------------
+
+def _child_entry(conn, spec: RunSpec, calibration) -> None:
+    result = simulate_spec(spec, calibration)
+    conn.send(result_to_dict(result))
+    conn.close()
+
+
+def compute_in_subprocess(spec: RunSpec, calibration,
+                          timeout: float,
+                          stop: Optional[threading.Event] = None
+                          ) -> SimulationResult:
+    """Run one spec in a forked child with a wall-clock limit.
+
+    Raises :class:`JobTimeout` past ``timeout`` seconds,
+    :class:`WorkerCrash` if the child exits without a result, and
+    :class:`ShutdownRequested` when ``stop`` is set mid-run (the child
+    is terminated; the caller re-queues the job).
+    """
+    import multiprocessing
+    receiver, sender = multiprocessing.Pipe(duplex=False)
+    child = multiprocessing.Process(
+        target=_child_entry, args=(sender, spec, calibration), daemon=True)
+    child.start()
+    sender.close()
+    deadline = time.monotonic() + timeout
+    try:
+        while True:
+            if receiver.poll(0.05):
+                try:
+                    data = receiver.recv()
+                except EOFError:
+                    raise WorkerCrash(
+                        f"worker exited with code {child.exitcode} "
+                        "before returning a result")
+                child.join()
+                return result_from_dict(data)
+            if stop is not None and stop.is_set():
+                child.terminate()
+                raise ShutdownRequested("pool stopping")
+            if not child.is_alive() and not receiver.poll(0):
+                raise WorkerCrash(
+                    f"worker exited with code {child.exitcode} "
+                    "before returning a result")
+            if time.monotonic() > deadline:
+                child.terminate()
+                raise JobTimeout(
+                    f"{spec.benchmark}/{spec.policy} exceeded the "
+                    f"{timeout:g}s per-job timeout")
+    finally:
+        if child.is_alive():
+            child.terminate()
+        child.join(timeout=1.0)
+        receiver.close()
+
+
+class WorkerPool:
+    """Threads that pop jobs and resolve them to results.
+
+    Parameters
+    ----------
+    queue:
+        The shared :class:`~repro.service.jobs.JobQueue`.
+    runner:
+        An :class:`~repro.sim.runner.ExperimentRunner`; its in-memory
+        memo and disk cache front every simulation.  Access is
+        serialised by a pool-internal lock (the runner itself is not
+        thread-safe); actual simulation happens outside the lock.
+    workers:
+        Thread count (concurrent simulations).
+    timeout:
+        Per-job wall-clock limit in seconds.  When set, simulations run
+        in forked child processes so they can be killed; when None they
+        run inline (no limit, no crash isolation).
+    compute:
+        Override for the compute step, ``f(spec) -> SimulationResult``
+        (tests inject crashes/blocks here).  May raise
+        :class:`WorkerCrash` (retried once), :class:`JobTimeout`
+        (failed), or :class:`ShutdownRequested` (re-queued).
+    """
+
+    def __init__(self, queue: JobQueue, runner: ExperimentRunner,
+                 workers: int = 2, timeout: Optional[float] = None,
+                 compute: Optional[Callable[[RunSpec], SimulationResult]]
+                 = None) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.queue = queue
+        self.runner = runner
+        self.workers = workers
+        self.timeout = timeout
+        self._compute = compute or self._default_compute
+        self._runner_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self.durations: Deque[float] = collections.deque(maxlen=1024)
+        self.simulated = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.hits: Dict[str, int] = {"memory": 0, "disk": 0}
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._run, daemon=True,
+                                      name=f"repro-worker-{index}")
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: interrupt in-flight computes (re-queueing
+        their jobs), then join the worker threads.  Queued jobs stay
+        queued; done jobs stay done; nothing is lost."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # -- the worker loop --------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.take(timeout=0.1)
+            if job is None:
+                continue
+            if self._stop.is_set():
+                self.queue.requeue(job)
+                break
+            self._process(job)
+
+    def _process(self, job: Job) -> None:
+        spec = job.spec
+        with self._runner_lock:
+            cached = self.runner.cached(spec.benchmark, spec.policy, spec.tag)
+        if cached is not None:
+            result, source = cached
+            self.hits[source] += 1
+            self.queue.complete(job, result, source)
+            return
+        start = time.perf_counter()
+        try:
+            result = self._attempt(job)
+        except ShutdownRequested:
+            self.queue.requeue(job)
+            return
+        except JobTimeout as exc:
+            self.timeouts += 1
+            self.queue.fail(job, str(exc))
+            return
+        except Exception as exc:             # noqa: BLE001 - job boundary
+            self.queue.fail(job, f"{type(exc).__name__}: {exc}")
+            return
+        with self._runner_lock:
+            self.runner.memoise_spec(spec, result)
+        self.durations.append(time.perf_counter() - start)
+        self.simulated += 1
+        self.queue.complete(job, result, "run")
+
+    def _attempt(self, job: Job) -> SimulationResult:
+        job.attempts += 1
+        try:
+            return self._compute(job.spec)
+        except WorkerCrash as crash:
+            if self._stop.is_set():
+                raise ShutdownRequested("pool stopping") from crash
+            self.retries += 1
+            job.attempts += 1
+            return self._compute(job.spec)   # one retry, then fail
+
+    def _default_compute(self, spec: RunSpec) -> SimulationResult:
+        if self.timeout is None:
+            return simulate_spec(spec, self.runner.calibration)
+        return compute_in_subprocess(spec, self.runner.calibration,
+                                     self.timeout, self._stop)
+
+    # -- metrics ----------------------------------------------------------
+
+    def metrics(self) -> Dict[str, float]:
+        """Hit/latency numbers for ``/metrics``."""
+        samples = list(self.durations)
+        hits = self.hits["memory"] + self.hits["disk"]
+        served = hits + self.simulated
+        return {
+            "simulated": self.simulated,
+            "cache_hits_memory": self.hits["memory"],
+            "cache_hits_disk": self.hits["disk"],
+            "cache_hit_ratio": (hits / served) if served else 0.0,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "p50_seconds": percentile(samples, 0.50),
+            "p95_seconds": percentile(samples, 0.95),
+        }

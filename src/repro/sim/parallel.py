@@ -52,7 +52,7 @@ class RunReport:
 
     spec: RunSpec
     seconds: float
-    source: str                    #: "run" | "memory" | "disk"
+    source: str                    #: "run" | "memory" | "disk" | "remote"
 
     @property
     def instructions_per_second(self) -> float:

@@ -52,13 +52,20 @@ class ExperimentRunner:
         Callback receiving a :class:`~repro.sim.parallel.RunReport` per
         completed lookup or simulation; the CLI uses it for per-run
         timing and cache hit/miss lines.
+    remote:
+        Remote executor — any object with
+        ``run_specs(specs) -> List[SimulationResult]`` (a
+        :class:`~repro.service.client.ServiceClient`).  When set, cache
+        misses are submitted to a shared simulation server instead of
+        simulated in-process; hits are still answered locally.
     """
 
     def __init__(self, instructions: Optional[int] = None,
                  calibration: Optional[PowerCalibration] = None,
                  cache: Optional[ResultCache] = None,
                  jobs: int = 1,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 remote: Optional[object] = None) -> None:
         if instructions is None:
             instructions = default_instructions()
         elif instructions <= 0:
@@ -68,6 +75,7 @@ class ExperimentRunner:
         self.cache = cache if cache is not None else ResultCache()
         self.jobs = jobs
         self.progress = progress
+        self.remote = remote
         self._simulators: Dict[str, Simulator] = {}
         self._cache: Dict[Tuple[str, str, str], SimulationResult] = {}
 
@@ -104,6 +112,43 @@ class ExperimentRunner:
         if persist:
             self.cache.put(self._fingerprint(spec), result)
 
+    def cached(self, benchmark: str, policy: str, tag: str = "baseline"
+               ) -> Optional[Tuple[SimulationResult, str]]:
+        """Memory-then-disk lookup without simulating.
+
+        Returns ``(result, source)`` with source ``"memory"`` or
+        ``"disk"`` (disk hits are promoted into memory), or None on a
+        full miss.  This is the cache half of :meth:`run`, split out so
+        the service's worker pool can walk the same resolution path.
+        """
+        key = (tag, benchmark, policy)
+        if key in self._cache:
+            return self._cache[key], "memory"
+        spec = self._spec(benchmark, policy, tag)
+        disk = self.cache.get(self._fingerprint(spec))
+        if disk is not None:
+            self._cache[key] = disk
+            return disk, "disk"
+        return None
+
+    def memoise_spec(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Record an externally computed result in memory and on disk."""
+        key = (spec.tag, spec.benchmark, spec.policy)
+        self._memoise(key, spec, result, persist=True)
+
+    def _execute(self, specs: Sequence[RunSpec],
+                 jobs: int) -> List[SimulationResult]:
+        """Simulate cache misses: remote server if bound, else local."""
+        if self.remote is not None:
+            start = time.perf_counter()
+            results = self.remote.run_specs(specs)
+            elapsed = time.perf_counter() - start
+            for spec in specs:
+                self._report(spec, elapsed / len(specs), "remote")
+            return results
+        return execute_specs(specs, self.calibration, jobs=jobs,
+                             progress=self.progress)
+
     # -- runs -------------------------------------------------------------
 
     def run(self, benchmark: str, policy: str = "base",
@@ -133,6 +178,10 @@ class ExperimentRunner:
                 self._cache[key] = disk
                 self._report(spec, 0.0, "disk")
                 return disk
+        if self.remote is not None and policy_factory is None:
+            result = self._execute([spec], jobs=1)[0]
+            self._memoise(key, spec, result, persist=True)
+            return result
         sim = self.simulator(tag)
         policy_arg = policy_factory() if policy_factory else policy
         start = time.perf_counter()
@@ -189,9 +238,8 @@ class ExperimentRunner:
                 continue
             todo.append((i, key, spec))
         if todo:
-            fresh = execute_specs([spec for _i, _key, spec in todo],
-                                  self.calibration, jobs=jobs,
-                                  progress=self.progress)
+            fresh = self._execute([spec for _i, _key, spec in todo],
+                                  jobs=jobs)
             for (i, key, spec), result in zip(todo, fresh):
                 results[i] = result
                 self._memoise(key, spec, result, persist=True)

@@ -1,0 +1,201 @@
+"""Worker pool: resolution path, crash retry, timeout, shutdown-requeue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import JobQueue, JobState, make_spec
+from repro.service.workers import (JobTimeout, ShutdownRequested,
+                                   WorkerCrash, WorkerPool, percentile)
+from repro.sim import ExperimentRunner, ResultCache
+from repro.sim.parallel import simulate_spec
+
+INSTRUCTIONS = 400
+
+
+def _pool(tmp_path=None, **kwargs):
+    cache = ResultCache(str(tmp_path)) if tmp_path is not None else \
+        ResultCache("")
+    runner = ExperimentRunner(instructions=INSTRUCTIONS, cache=cache)
+    queue = JobQueue(maxsize=16, calibration=runner.calibration)
+    pool = WorkerPool(queue, runner, **kwargs)
+    return queue, pool, runner
+
+
+def _submit(queue, **fields):
+    fields.setdefault("instructions", INSTRUCTIONS)
+    job, _created = queue.submit(make_spec(**fields))
+    return job
+
+
+def test_percentile_edges():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([3.0], 0.95) == 3.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+
+def test_pool_simulates_and_caches(tmp_path):
+    queue, pool, runner = _pool(tmp_path, workers=2)
+    pool.start()
+    try:
+        first = _submit(queue, benchmark="gzip", policy="dcg")
+        other = _submit(queue, benchmark="gzip", policy="base")
+        assert first.wait(timeout=60) and other.wait(timeout=60)
+        assert first.state is JobState.DONE and first.source == "run"
+        expected = simulate_spec(first.spec, runner.calibration)
+        assert first.result.cycles == expected.cycles
+        assert first.result.total_saving == expected.total_saving
+        # repeat request: served from the in-memory memo, no new sim
+        again = _submit(queue, benchmark="gzip", policy="dcg")
+        assert again.wait(timeout=60)
+        assert again.source == "memory"
+        assert pool.simulated == 2
+        assert pool.hits["memory"] == 1
+    finally:
+        pool.stop()
+
+
+def test_fresh_pool_hits_disk_cache(tmp_path):
+    queue, pool, _runner = _pool(tmp_path, workers=1)
+    pool.start()
+    try:
+        job = _submit(queue, benchmark="mcf", policy="dcg")
+        assert job.wait(timeout=60) and job.source == "run"
+    finally:
+        pool.stop()
+    # same disk cache, brand-new process-level state
+    queue2, pool2, _ = _pool(tmp_path, workers=1)
+    pool2.start()
+    try:
+        job2 = _submit(queue2, benchmark="mcf", policy="dcg")
+        assert job2.wait(timeout=60)
+        assert job2.state is JobState.DONE and job2.source == "disk"
+        assert pool2.simulated == 0
+        assert job2.result.cycles == job.result.cycles
+    finally:
+        pool2.stop()
+
+
+def test_crash_is_retried_once(tmp_path):
+    calls = []
+
+    def flaky(spec):
+        calls.append(spec.policy)
+        if len(calls) == 1:
+            raise WorkerCrash("worker exited with code -9")
+        return simulate_spec(spec)
+
+    queue, pool, _ = _pool(tmp_path, workers=1, compute=flaky)
+    pool.start()
+    try:
+        job = _submit(queue, benchmark="gzip", policy="dcg")
+        assert job.wait(timeout=60)
+        assert job.state is JobState.DONE
+        assert job.attempts == 2
+        assert pool.retries == 1
+        assert len(calls) == 2
+    finally:
+        pool.stop()
+
+
+def test_double_crash_fails_the_job():
+    def always_crashes(_spec):
+        raise WorkerCrash("worker exited with code -11")
+
+    queue, pool, _ = _pool(workers=1, compute=always_crashes)
+    pool.start()
+    try:
+        job = _submit(queue, benchmark="gzip", policy="dcg")
+        assert job.wait(timeout=60)
+        assert job.state is JobState.FAILED
+        assert "code -11" in job.error
+        assert job.attempts == 2
+        assert pool.retries == 1
+    finally:
+        pool.stop()
+
+
+def test_timeout_fails_without_retry():
+    def too_slow(spec):
+        raise JobTimeout(f"{spec.benchmark} exceeded the 1s per-job timeout")
+
+    queue, pool, _ = _pool(workers=1, compute=too_slow)
+    pool.start()
+    try:
+        job = _submit(queue, benchmark="gzip", policy="dcg")
+        assert job.wait(timeout=60)
+        assert job.state is JobState.FAILED
+        assert "timeout" in job.error
+        assert job.attempts == 1             # timeouts are not retried
+        assert pool.timeouts == 1
+    finally:
+        pool.stop()
+
+
+def test_unexpected_error_fails_with_type_name():
+    def broken(_spec):
+        raise ZeroDivisionError("oops")
+
+    queue, pool, _ = _pool(workers=1, compute=broken)
+    pool.start()
+    try:
+        job = _submit(queue, benchmark="gzip", policy="dcg")
+        assert job.wait(timeout=60)
+        assert job.state is JobState.FAILED
+        assert job.error == "ZeroDivisionError: oops"
+    finally:
+        pool.stop()
+
+
+def test_subprocess_compute_matches_inline_and_times_out():
+    """The real subprocess path: correct results, enforced deadline."""
+    spec = make_spec("gzip", "dcg", instructions=300)
+    from repro.service.workers import compute_in_subprocess
+    result = compute_in_subprocess(spec, None, timeout=120.0)
+    inline = simulate_spec(spec)
+    assert result.cycles == inline.cycles
+    assert result.total_saving == pytest.approx(inline.total_saving)
+    slow = make_spec("gzip", "dcg", instructions=2_000_000)
+    with pytest.raises(JobTimeout, match="per-job timeout"):
+        compute_in_subprocess(slow, None, timeout=0.2)
+
+
+def test_shutdown_requeues_inflight_job():
+    """An accepted job survives shutdown as a queued entry, not a loss."""
+    started = threading.Event()
+    holder = {}
+
+    def blocking(_spec):
+        # mimics the subprocess path: blocks until the pool starts
+        # stopping, then surfaces ShutdownRequested
+        started.set()
+        deadline = time.monotonic() + 30
+        while not holder["pool"].stopping and time.monotonic() < deadline:
+            time.sleep(0.01)
+        raise ShutdownRequested("pool stopping")
+
+    queue, pool, _ = _pool(workers=1, compute=blocking)
+    holder["pool"] = pool
+    pool.start()
+    job = _submit(queue, benchmark="gzip", policy="dcg")
+    assert started.wait(timeout=10)
+    assert job.state is JobState.RUNNING
+    pool.stop()
+    assert job.state is JobState.QUEUED
+    assert job.requeues == 1
+    assert queue.depth == 1
+    assert queue.counters()["requeued"] == 1
+    assert not job.finished                  # neither done nor failed
+
+
+def test_stop_drains_nothing_new():
+    """Workers stop picking jobs once stop is requested; queued jobs
+    stay queued for a later pool."""
+    queue, pool, _ = _pool(workers=1)
+    pool.start()
+    pool.stop()
+    job = _submit(queue, benchmark="gzip", policy="dcg")
+    time.sleep(0.2)
+    assert job.state is JobState.QUEUED

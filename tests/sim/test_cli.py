@@ -46,6 +46,69 @@ def test_compare(capsys):
         assert policy in out
 
 
+def test_compare_uses_runner_with_jobs_and_progress(capsys):
+    """Regression: compare used to simulate serially outside the
+    runner, ignoring --jobs, the caches, and the progress printer."""
+    assert main(["compare", "gzip", "--instructions", "900",
+                 "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "base" in captured.out and "dcg" in captured.out
+    assert "cache miss" in captured.err
+    assert "simulated" in captured.err
+
+
+def test_compare_warm_disk_cache_skips_simulation(tmp_path, capsys,
+                                                  monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["compare", "gzip", "--instructions", "900"]) == 0
+    first = capsys.readouterr()
+    assert main(["compare", "gzip", "--instructions", "900"]) == 0
+    second = capsys.readouterr()
+    assert "0 simulated" in second.err
+    assert "cache hit (disk)" in second.err
+    assert first.out == second.out
+
+
+@pytest.mark.parametrize("argv", [
+    ["figure", "fig16", "--jobs", "0"],
+    ["figure", "fig16", "--jobs", "-3"],
+    ["compare", "gzip", "--jobs", "0"],
+    ["report", "--jobs", "0"],
+])
+def test_non_positive_jobs_rejected_by_parser(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2           # argparse usage error
+    assert "positive integer" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["run", "gzip", "--instructions", "0"],
+    ["run", "gzip", "--instructions", "-500"],
+    ["compare", "gzip", "--instructions", "0"],
+    ["figure", "fig16", "--instructions", "-1"],
+    ["report", "--instructions", "0"],
+    ["submit", "gzip", "--instructions", "0"],
+    ["serve", "--instructions", "0"],
+])
+def test_non_positive_instructions_rejected_by_parser(argv, capsys):
+    """Regression: --instructions 0 used to reach ExperimentRunner
+    (which raises) or the simulator (which silently defaulted)."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "positive integer" in capsys.readouterr().err
+
+
+def test_bad_repro_jobs_env_is_a_clear_cli_error(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(SystemExit, match="REPRO_JOBS"):
+        main(["figure", "fig16", "--instructions", "500"])
+    monkeypatch.setenv("REPRO_JOBS", "lots")
+    with pytest.raises(SystemExit, match="REPRO_JOBS"):
+        main(["compare", "gzip", "--instructions", "500"])
+
+
 def test_figure(capsys):
     assert main(["figure", "fig16", "--instructions", "1000"]) == 0
     out = capsys.readouterr().out

@@ -125,3 +125,48 @@ def test_run_many_parallel_matches_serial(tmp_path):
     parallel = ExperimentRunner(instructions=700, jobs=2).run_many(requests)
     for s, p in zip(serial, parallel):
         assert (s.cycles, s.average_power) == (p.cycles, p.average_power)
+
+
+def test_cached_walks_memory_then_disk(tmp_path):
+    from repro.sim import ResultCache
+    root = str(tmp_path / "cache")
+    first = ExperimentRunner(instructions=900, cache=ResultCache(root))
+    assert first.cached("gzip", "dcg") is None      # cold everywhere
+    hot = first.run("gzip", "dcg")
+    result, source = first.cached("gzip", "dcg")
+    assert source == "memory" and result is hot
+    second = ExperimentRunner(instructions=900, cache=ResultCache(root))
+    result, source = second.cached("gzip", "dcg")
+    assert source == "disk" and result.cycles == hot.cycles
+    # the disk hit is promoted, so the next lookup is a memory hit
+    assert second.cached("gzip", "dcg")[1] == "memory"
+
+
+def test_memoise_spec_feeds_both_cache_layers(tmp_path):
+    from repro.sim import ResultCache
+    root = str(tmp_path / "cache")
+    runner = ExperimentRunner(instructions=900, cache=ResultCache(root))
+    spec = runner._spec("gzip", "dcg", "baseline")
+    result = ExperimentRunner(instructions=900).run("gzip", "dcg")
+    runner.memoise_spec(spec, result)
+    assert runner.cache.stores == 1
+    assert runner.cached("gzip", "dcg")[1] == "memory"
+    fresh = ExperimentRunner(instructions=900, cache=ResultCache(root))
+    assert fresh.cached("gzip", "dcg")[1] == "disk"
+
+
+def test_remote_executor_receives_only_the_misses():
+    calls = []
+
+    class FakeRemote:
+        def run_specs(self, specs):
+            calls.append(list(specs))
+            local = ExperimentRunner(instructions=700)
+            return [local.run(s.benchmark, s.policy, s.tag) for s in specs]
+
+    runner = ExperimentRunner(instructions=700, remote=FakeRemote())
+    warm = runner.run("gzip", "base")         # miss -> remote
+    results = runner.run_many([("gzip", "base"), ("gzip", "dcg")])
+    assert results[0] is warm                 # memory hit, not resent
+    sent = [(s.benchmark, s.policy) for batch in calls for s in batch]
+    assert sent == [("gzip", "base"), ("gzip", "dcg")]
