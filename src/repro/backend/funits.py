@@ -143,22 +143,27 @@ class FUPool:
         Returns the instance, or ``None`` when every enabled instance of
         the class is structurally busy.
         """
-        from ..trace.uop import MicroOp  # noqa: F401  (doc cross-ref only)
         fu_class = _OP_TO_FU[op_class]
         spec = FU_LATENCY[op_class]
-        units = self.enabled_units(fu_class)
-        if not units:
+        units = self.units[fu_class]
+        limit = len(units) - self._disabled[fu_class]
+        if limit <= 0:
             return None
         if self.policy is AllocationPolicy.SEQUENTIAL_PRIORITY:
-            candidates = units
-        else:
-            start = self._rr_next[fu_class] % len(units)
-            candidates = units[start:] + units[:start]
-        for unit in candidates:
-            if unit.available(cycle):
+            # scan enabled instances in index order without slicing — this
+            # is the hottest allocation path and low-index units win ties
+            for i in range(limit):
+                unit = units[i]
+                if unit.busy_until < cycle:
+                    unit.allocate(cycle, spec)
+                    return unit
+            return None
+        start = self._rr_next[fu_class] % limit
+        enabled = units[:limit]
+        for unit in enabled[start:] + enabled[:start]:
+            if unit.busy_until < cycle:
                 unit.allocate(cycle, spec)
-                if self.policy is AllocationPolicy.ROUND_ROBIN:
-                    self._rr_next[fu_class] = unit.index + 1
+                self._rr_next[fu_class] = unit.index + 1
                 return unit
         return None
 

@@ -1,0 +1,29 @@
+"""Performance measurement for the simulator itself.
+
+The repo's experiments care about *simulated* cycles; this package
+cares about how fast the simulator produces them.  It provides the
+``repro bench-perf`` harness (:mod:`repro.bench.perf`), which times
+cycles/sec and instructions/sec per gating policy on pinned synthetic
+workloads and records the numbers as ``BENCH_<tag>.json`` files — the
+repo's perf trajectory.
+"""
+
+from .perf import (
+    DEFAULT_CASES,
+    SCHEMA_VERSION,
+    BenchCase,
+    profile_case,
+    run_bench,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BenchCase",
+    "DEFAULT_CASES",
+    "SCHEMA_VERSION",
+    "profile_case",
+    "run_bench",
+    "validate_report",
+    "write_report",
+]

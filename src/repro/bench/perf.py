@@ -1,0 +1,197 @@
+"""Perf-regression harness for the cycle simulator.
+
+Times the per-cycle hot path (``Pipeline._step`` and everything it
+calls) end to end through the public :class:`~repro.sim.simulator`
+facade, on a pinned set of (benchmark, policy) cases chosen to cover
+the three hot-path regimes: no gating (``base``), DCG's per-cycle grant
+calendar + verification (``dcg``), and PLB's mode machinery with the
+extended gating set (``plb-ext``).
+
+The output is a JSON report (``BENCH_<tag>.json``) with one record per
+case: simulated cycles, committed instructions, wall-clock seconds, and
+the derived cycles/sec and instr/sec rates.  Reports are intended to be
+committed under ``benchmarks/perf/`` so the repo accumulates a perf
+trajectory; CI runs the harness on a tiny budget and validates the
+report shape (not absolute speed — CI machines vary too much for that).
+
+An opt-in cProfile hook (``repro bench-perf --profile``, or the
+``REPRO_PROFILE`` environment variable) prints the hottest functions of
+one case instead of timing the full matrix.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pipeline.config import MachineConfig
+from ..sim.simulator import Simulator
+
+__all__ = ["BenchCase", "DEFAULT_CASES", "SCHEMA_VERSION", "run_bench",
+           "profile_case", "validate_report", "write_report"]
+
+#: bump when the report layout changes; consumers check this
+SCHEMA_VERSION = 1
+
+#: default per-case instruction budget for local runs
+DEFAULT_INSTRUCTIONS = 20_000
+
+#: fraction of the budget spent on an untimed warm-up run per case
+_WARMUP_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned (benchmark, policy) timing case."""
+
+    benchmark: str
+    policy: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.policy}"
+
+
+#: the pinned matrix: one integer and one FP workload, across the
+#: three structurally different policy hot paths
+DEFAULT_CASES: Tuple[BenchCase, ...] = (
+    BenchCase("gzip", "base"),
+    BenchCase("gzip", "dcg"),
+    BenchCase("gzip", "plb-ext"),
+    BenchCase("applu", "base"),
+    BenchCase("applu", "dcg"),
+    BenchCase("applu", "plb-ext"),
+)
+
+
+def _time_case(sim: Simulator, case: BenchCase,
+               instructions: int) -> Dict[str, object]:
+    warmup = max(1, int(instructions * _WARMUP_FRACTION))
+    sim.run_benchmark(case.benchmark, case.policy, instructions=warmup)
+    start = time.perf_counter()
+    result = sim.run_benchmark(case.benchmark, case.policy,
+                               instructions=instructions)
+    seconds = time.perf_counter() - start
+    # a zero-duration clock read would make the rates meaningless;
+    # clamp to the timer's practical resolution instead of dividing by 0
+    seconds = max(seconds, 1e-9)
+    return {
+        "benchmark": case.benchmark,
+        "policy": case.policy,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "seconds": seconds,
+        "cycles_per_second": result.cycles / seconds,
+        "instructions_per_second": result.instructions / seconds,
+    }
+
+
+def run_bench(instructions: int = DEFAULT_INSTRUCTIONS,
+              cases: Sequence[BenchCase] = DEFAULT_CASES,
+              tag: str = "local",
+              config: Optional[MachineConfig] = None,
+              progress=None) -> Dict[str, object]:
+    """Time every case and return the report dict.
+
+    ``progress``, when given, is called with each finished case record
+    (the CLI uses it for per-case stderr lines).
+    """
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    if not cases:
+        raise ValueError("at least one bench case is required")
+    sim = Simulator(config)
+    results: List[Dict[str, object]] = []
+    for case in cases:
+        record = _time_case(sim, case, instructions)
+        results.append(record)
+        if progress is not None:
+            progress(record)
+    total_cycles = sum(r["cycles"] for r in results)
+    total_seconds = sum(r["seconds"] for r in results)
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "tag": tag,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "instructions_per_case": instructions,
+        "results": results,
+        "totals": {
+            "cases": len(results),
+            "cycles": total_cycles,
+            "seconds": total_seconds,
+            "cycles_per_second": total_cycles / max(total_seconds, 1e-9),
+        },
+    }
+    return report
+
+
+def profile_case(case: BenchCase = DEFAULT_CASES[1],
+                 instructions: int = DEFAULT_INSTRUCTIONS,
+                 top: int = 25,
+                 config: Optional[MachineConfig] = None) -> str:
+    """cProfile one case and return the hottest-functions table."""
+    sim = Simulator(config)
+    # warm imports/caches outside the profile window
+    sim.run_benchmark(case.benchmark, case.policy, instructions=1_000)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run_benchmark(case.benchmark, case.policy, instructions=instructions)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+_REQUIRED_RESULT_KEYS = ("benchmark", "policy", "instructions", "cycles",
+                         "seconds", "cycles_per_second",
+                         "instructions_per_second")
+
+
+def validate_report(report: Dict[str, object]) -> None:
+    """Raise ``ValueError`` when a report is structurally malformed.
+
+    CI's bench smoke job calls this so a broken harness fails the build
+    even though absolute speed is never asserted.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("report must be a dict")
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}")
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("report has no results")
+    for record in results:
+        for key in _REQUIRED_RESULT_KEYS:
+            if key not in record:
+                raise ValueError(f"result record is missing {key!r}")
+        if record["cycles"] <= 0 or record["instructions"] <= 0:
+            raise ValueError(
+                f"{record.get('benchmark')}/{record.get('policy')}: "
+                "non-positive cycles or instructions")
+        if record["seconds"] <= 0:
+            raise ValueError(
+                f"{record.get('benchmark')}/{record.get('policy')}: "
+                "non-positive wall-clock seconds")
+    totals = report.get("totals")
+    if not isinstance(totals, dict) or totals.get("cases") != len(results):
+        raise ValueError("totals.cases does not match results")
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Validate and write a report as pretty-printed JSON."""
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -29,11 +29,16 @@ end of issue (and, for the rename latch, at the end of decode):
 DCG imposes *no* other constraints: no prediction, no thresholds, no
 performance loss (the run's cycle count equals the base machine's,
 which a test asserts).
+
+:meth:`DCGPolicy.observe` runs once per simulated cycle and is hot-path
+code: per-class index universes, stage latch capacities, and the
+constraints object are all precomputed at :meth:`DCGPolicy.bind` so the
+per-cycle work is set arithmetic over small prebuilt sets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, FrozenSet, Set, Tuple
 
 from ..pipeline.config import MachineConfig
 from ..pipeline.usage import CycleUsage
@@ -44,6 +49,8 @@ __all__ = ["DCGPolicy"]
 
 _EXEC_CLASSES = (FUClass.INT_ALU, FUClass.INT_MULT,
                  FUClass.FP_ALU, FUClass.FP_MULT)
+
+_EMPTY_SET: FrozenSet[int] = frozenset()
 
 
 class DCGPolicy(GatingPolicy):
@@ -90,80 +97,103 @@ class DCGPolicy(GatingPolicy):
         if gate_issue_queue:
             self.name = "dcg+iq"
         self._grant_calendar: Dict[int, Dict[FUClass, Set[int]]] = {}
-        self._prev_gated: Dict[FUClass, Set[int]] = {}
+        self._prev_gated: Dict[FUClass, FrozenSet[int]] = {}
         self.toggle_count = 0
 
     def bind(self, config: MachineConfig) -> None:
         super().bind(config)
+        if self.store_policy == "delayed":
+            self._full_machine_constraints.store_extra_delay = 1
         self._issue_to_execute = config.depth.issue_to_execute
         self._grant_calendar.clear()
-        self._prev_gated = {
-            cls: set(range(config.fu_counts.get(cls, 0)))
-            for cls in _EXEC_CLASSES}
+        # per-class (class, count, all-indices) rows, fixed for the run
+        self._unit_rows: Tuple[Tuple[FUClass, int, FrozenSet[int]], ...] = \
+            tuple((cls, config.fu_counts.get(cls, 0),
+                   frozenset(range(config.fu_counts.get(cls, 0))))
+                  for cls in _EXEC_CLASSES)
+        self._prev_gated = {cls: indices
+                            for cls, _count, indices in self._unit_rows}
+        # gated latch stages as (stage name, slot capacity), §3.2
+        depth = config.depth
+        width = config.issue_width
+        self._latch_stages: Tuple[Tuple[str, int], ...] = (
+            ("rename", width * depth.rename),
+            ("regread", width * depth.regread),
+            ("execute", width * depth.execute),
+            ("mem", width * depth.mem),
+            ("writeback", width * depth.writeback),
+        )
+        self._window_size = config.window_size
+        self._dcache_ports = config.dcache_ports
+        self._result_buses = config.result_buses
         self.toggle_count = 0
 
     # -- constraints -----------------------------------------------------
 
     def constraints(self, cycle: int) -> CycleConstraints:
-        cons = super().constraints(cycle)
-        if self.store_policy == "delayed":
-            cons.store_extra_delay = 1
-        return cons
+        return self._full_machine_constraints
 
     # -- per-cycle gate decision --------------------------------------------
 
     def observe(self, usage: CycleUsage) -> GateDecision:
-        cfg = self.config
         cycle = usage.cycle
         decision = GateDecision(control_always_on=True)
 
         # record this cycle's GRANTs into the calendar: a grant at issue
         # cycle X with occupancy L keeps its unit ungated over
         # [X + issue_to_execute, X + issue_to_execute + L - 1]
-        start = cycle + self._issue_to_execute
-        for fu_class, index, latency in usage.grants:
-            for cc in range(start, start + latency):
-                slot = self._grant_calendar.setdefault(cc, {})
-                slot.setdefault(fu_class, set()).add(index)
+        grants = usage.grants
+        if grants:
+            calendar = self._grant_calendar
+            start = cycle + self._issue_to_execute
+            for fu_class, index, latency in grants:
+                for cc in range(start, start + latency):
+                    slot = calendar.get(cc)
+                    if slot is None:
+                        slot = calendar[cc] = {}
+                    claimed = slot.get(fu_class)
+                    if claimed is None:
+                        slot[fu_class] = {index}
+                    else:
+                        claimed.add(index)
 
         # execution units: gate everything the delayed grants do not claim
-        predicted = self._grant_calendar.pop(cycle, {})
-        toggles = 0
+        predicted = self._grant_calendar.pop(cycle, None)
         if self.gate_units:
-            for fu_class in _EXEC_CLASSES:
-                count = cfg.fu_counts.get(fu_class, 0)
-                claimed = predicted.get(fu_class, set())
-                if self.verify:
-                    actual = {i for i, on in
-                              enumerate(usage.fu_active.get(fu_class, ()))
-                              if on}
-                    if actual != claimed:
-                        raise AssertionError(
-                            f"DCG determinism violated at cycle {cycle}: "
-                            f"{fu_class.name} grants predict {sorted(claimed)} "
-                            f"but units {sorted(actual)} are active")
-                gated = set(range(count)) - claimed
-                decision.fu_gated[fu_class] = len(gated)
-                flips = len(gated ^ self._prev_gated[fu_class])
+            toggles = 0
+            prev_gated = self._prev_gated
+            fu_gated = decision.fu_gated
+            fu_active = usage.fu_active
+            verify = self.verify
+            for fu_class, count, all_indices in self._unit_rows:
+                claimed = (predicted.get(fu_class, _EMPTY_SET)
+                           if predicted is not None else _EMPTY_SET)
+                if verify:
+                    mask = fu_active.get(fu_class, ())
+                    if claimed or True in mask:
+                        actual = {i for i, on in enumerate(mask) if on}
+                        if actual != claimed:
+                            raise AssertionError(
+                                f"DCG determinism violated at cycle {cycle}: "
+                                f"{fu_class.name} grants predict "
+                                f"{sorted(claimed)} but units "
+                                f"{sorted(actual)} are active")
+                gated = all_indices - claimed if claimed else all_indices
+                fu_gated[fu_class] = count - len(claimed)
+                flips = len(gated ^ prev_gated[fu_class])
                 if flips:
                     decision.fu_toggles[fu_class] = flips
-                toggles += flips
-                self._prev_gated[fu_class] = gated
+                    toggles += flips
+                prev_gated[fu_class] = gated
             self.toggle_count += toggles
 
         # pipeline latches: per gated stage, width*segments minus the
         # slots the delayed one-hot encodings mark as occupied
         if self.gate_latches:
-            depth = cfg.depth
-            width = cfg.issue_width
             gated = 0
-            for stage, segments in (("rename", depth.rename),
-                                    ("regread", depth.regread),
-                                    ("execute", depth.execute),
-                                    ("mem", depth.mem),
-                                    ("writeback", depth.writeback)):
-                capacity = width * segments
-                used = usage.latch_slots.get(stage, 0)
+            latch_slots = usage.latch_slots
+            for stage, capacity in self._latch_stages:
+                used = latch_slots.get(stage, 0)
                 if used > capacity:
                     raise AssertionError(
                         f"latch usage {used} exceeds capacity {capacity} "
@@ -173,20 +203,20 @@ class DCGPolicy(GatingPolicy):
 
         # D-cache wordline decoders: ports unused at the access cycle
         if self.gate_dcache:
-            ports = cfg.dcache_ports
-            used = usage.dcache_ports_used
-            decision.dcache_ports_gated = max(0, ports - used)
+            used = usage.dcache_load_ports + usage.dcache_store_ports
+            gated_ports = self._dcache_ports - used
+            decision.dcache_ports_gated = gated_ports if gated_ports > 0 else 0
 
         # result-bus drivers: buses with no completing result
         if self.gate_result_bus:
-            decision.result_buses_gated = max(
-                0, cfg.result_buses - usage.result_bus_used)
+            gated_buses = self._result_buses - usage.result_bus_used
+            decision.result_buses_gated = gated_buses if gated_buses > 0 else 0
 
         # extension: [6]-style deterministic issue-queue entry gating —
         # empty window entries cannot wake or be selected, so their
         # clock can be gated with no prediction involved
         if self.gate_issue_queue:
-            empty = cfg.window_size - usage.window_occupancy
-            decision.issue_queue_gated_fraction = empty / cfg.window_size
+            empty = self._window_size - usage.window_occupancy
+            decision.issue_queue_gated_fraction = empty / self._window_size
 
         return decision

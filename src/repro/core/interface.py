@@ -14,11 +14,18 @@ A gating policy plugs into the timing pipeline at two points each cycle:
 The contract mirrors the paper's accounting (§4.2): a block that is not
 clock-gated in a cycle consumes its full per-cycle power; a gated block
 consumes none.
+
+Both per-cycle records are ``__slots__`` classes: one of each crosses
+the policy boundary every simulated cycle, so their attribute access is
+hot-path work.  A policy whose constraints are constant (or piecewise
+constant, like PLB's per-mode settings) may return the *same*
+:class:`CycleConstraints` object every cycle — the pipeline treats the
+object as read-only and uses its identity to skip redundant
+re-application of functional-unit restrictions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict
 
 from ..pipeline.config import MachineConfig
@@ -28,21 +35,35 @@ from ..trace.uop import FUClass
 __all__ = ["CycleConstraints", "GateDecision", "GatingPolicy"]
 
 
-@dataclass
 class CycleConstraints:
     """Resource restrictions a policy imposes on one cycle."""
 
-    issue_width: int
-    rename_width: int
-    dcache_ports: int
-    result_buses: int
-    disabled_fus: Dict[FUClass, int] = field(default_factory=dict)
-    #: extra cycles a committing store waits before its cache access
-    #: (DCG §3.3 possibility (2): no advance knowledge of stores)
-    store_extra_delay: int = 0
+    __slots__ = ("issue_width", "rename_width", "dcache_ports",
+                 "result_buses", "disabled_fus", "store_extra_delay")
+
+    def __init__(self, issue_width: int, rename_width: int,
+                 dcache_ports: int, result_buses: int,
+                 disabled_fus: Dict[FUClass, int] = None,
+                 store_extra_delay: int = 0) -> None:
+        self.issue_width = issue_width
+        self.rename_width = rename_width
+        self.dcache_ports = dcache_ports
+        self.result_buses = result_buses
+        self.disabled_fus: Dict[FUClass, int] = (
+            {} if disabled_fus is None else disabled_fus)
+        #: extra cycles a committing store waits before its cache access
+        #: (DCG §3.3 possibility (2): no advance knowledge of stores)
+        self.store_extra_delay = store_extra_delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CycleConstraints(issue_width={self.issue_width}, "
+                f"rename_width={self.rename_width}, "
+                f"dcache_ports={self.dcache_ports}, "
+                f"result_buses={self.result_buses}, "
+                f"disabled_fus={self.disabled_fus}, "
+                f"store_extra_delay={self.store_extra_delay})")
 
 
-@dataclass
 class GateDecision:
     """Block-cycles gated during one cycle, per block family.
 
@@ -52,20 +73,38 @@ class GateDecision:
     gating; DCG leaves the issue queue alone (§2.2.2).
     """
 
-    fu_gated: Dict[FUClass, int] = field(default_factory=dict)
-    latch_gated_slots: int = 0
-    dcache_ports_gated: int = 0
-    result_buses_gated: int = 0
-    issue_queue_gated_fraction: float = 0.0
-    #: DCG control circuitry (extended latches) stays clocked
-    control_always_on: bool = False
-    #: per-class count of execution units whose gate state flipped
-    fu_toggles: Dict[FUClass, int] = field(default_factory=dict)
+    __slots__ = ("fu_gated", "latch_gated_slots", "dcache_ports_gated",
+                 "result_buses_gated", "issue_queue_gated_fraction",
+                 "control_always_on", "fu_toggles")
+
+    def __init__(self, fu_gated: Dict[FUClass, int] = None,
+                 latch_gated_slots: int = 0, dcache_ports_gated: int = 0,
+                 result_buses_gated: int = 0,
+                 issue_queue_gated_fraction: float = 0.0,
+                 control_always_on: bool = False,
+                 fu_toggles: Dict[FUClass, int] = None) -> None:
+        self.fu_gated: Dict[FUClass, int] = (
+            {} if fu_gated is None else fu_gated)
+        self.latch_gated_slots = latch_gated_slots
+        self.dcache_ports_gated = dcache_ports_gated
+        self.result_buses_gated = result_buses_gated
+        self.issue_queue_gated_fraction = issue_queue_gated_fraction
+        #: DCG control circuitry (extended latches) stays clocked
+        self.control_always_on = control_always_on
+        #: per-class count of execution units whose gate state flipped
+        self.fu_toggles: Dict[FUClass, int] = (
+            {} if fu_toggles is None else fu_toggles)
 
     @property
     def fu_toggle_events(self) -> int:
         """Total gate-state flips this cycle across unit classes."""
         return sum(self.fu_toggles.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GateDecision(fu_gated={self.fu_gated}, "
+                f"latch_gated_slots={self.latch_gated_slots}, "
+                f"dcache_ports_gated={self.dcache_ports_gated}, "
+                f"result_buses_gated={self.result_buses_gated})")
 
 
 class GatingPolicy:
@@ -76,16 +115,18 @@ class GatingPolicy:
     def bind(self, config: MachineConfig) -> None:
         """Attach the machine configuration before simulation starts."""
         self.config = config
+        # constraints are constant for the base machine: build them once
+        # and hand the same (read-only) object to every cycle
+        self._full_machine_constraints = CycleConstraints(
+            issue_width=config.issue_width,
+            rename_width=config.decode_width,
+            dcache_ports=config.dcache_ports,
+            result_buses=config.result_buses,
+        )
 
     def constraints(self, cycle: int) -> CycleConstraints:
         """Resource limits for ``cycle`` (full machine by default)."""
-        cfg = self.config
-        return CycleConstraints(
-            issue_width=cfg.issue_width,
-            rename_width=cfg.decode_width,
-            dcache_ports=cfg.dcache_ports,
-            result_buses=cfg.result_buses,
-        )
+        return self._full_machine_constraints
 
     def observe(self, usage: CycleUsage) -> GateDecision:
         """Gate decision for the cycle just executed (none by default)."""

@@ -21,12 +21,17 @@ window.  The paper adapts PLB to its non-clustered 8-wide machine
 Because the prediction can be wrong, PLB loses performance when it
 under-provisions and loses opportunity when it over-provisions; that
 contrast with DCG is the paper's central result.
+
+Per-mode resource settings are constant for a bound configuration, so
+:meth:`PLBPolicy.bind` precomputes one :class:`CycleConstraints` object
+and one latch-gating table per mode; the per-cycle
+:meth:`PLBPolicy.observe` then only walks small prebuilt tuples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..pipeline.config import MachineConfig
 from ..pipeline.usage import CycleUsage
@@ -92,6 +97,52 @@ MODE_RESOURCES: Dict[int, Dict[str, object]] = {
 }
 
 
+class _ModePlan:
+    """Everything :meth:`PLBPolicy.observe` needs for one mode,
+    precomputed at bind time."""
+
+    __slots__ = ("constraints", "iq_fraction", "disabled_fus",
+                 "latch_rows", "front_end_gated", "dcache_ports_disabled",
+                 "result_buses_disabled")
+
+    def __init__(self, mode: int, config: MachineConfig,
+                 extended: bool) -> None:
+        resources = MODE_RESOURCES[mode]
+        self.disabled_fus: Dict[FUClass, int] = dict(
+            resources["disabled_fus"])
+        self.iq_fraction: float = resources["iq_fraction_gated"]
+        self.dcache_ports_disabled: int = resources["dcache_ports_disabled"]
+        self.result_buses_disabled: int = resources["result_buses_disabled"]
+        cons = CycleConstraints(
+            issue_width=mode,
+            rename_width=mode,
+            dcache_ports=config.dcache_ports,
+            result_buses=config.result_buses,
+            disabled_fus=dict(self.disabled_fus),
+        )
+        if extended:
+            cons.dcache_ports -= self.dcache_ports_disabled
+            cons.result_buses -= self.result_buses_disabled
+        self.constraints = cons
+        # PLB-ext latch gating table: per gated stage, (stage name,
+        # capacity, gated-slot target); the front-end contribution is a
+        # plain constant because usage always fits the mode width
+        depth = config.depth
+        width = config.issue_width
+        fraction = resources["latch_fraction_gated"]
+        rows = []
+        for stage, segments in (("rename", depth.rename),
+                                ("regread", depth.regread),
+                                ("execute", depth.execute),
+                                ("mem", depth.mem),
+                                ("writeback", depth.writeback)):
+            capacity = width * segments
+            rows.append((stage, capacity, int(capacity * fraction)))
+        self.latch_rows: Tuple[Tuple[str, int, int], ...] = tuple(rows)
+        front_capacity = width * (depth.fetch + depth.decode + depth.issue)
+        self.front_end_gated = int(front_capacity * fraction)
+
+
 class PLBPolicy(GatingPolicy):
     """Pipeline balancing, original or extended gating set.
 
@@ -124,8 +175,19 @@ class PLBPolicy(GatingPolicy):
         self._window_issued = 0
         self._window_fp_issued = 0
         self._down_votes = 0
+        # a policy instance may be re-bound and reused across runs
+        # (ExperimentRunner.run_many does); without clearing the pending
+        # downgrade vote here, a stale mode carried over from the end of
+        # the previous run could commit a wrong mode switch in the first
+        # windows of the next one
+        self._pending_mode = 8
         self.mode_cycles = {8: 0, 6: 0, 4: 0}
         self.transitions = 0
+        self._mode_plans: Dict[int, _ModePlan] = {
+            mode: _ModePlan(mode, config, self.extended)
+            for mode in MODE_RESOURCES}
+        self._plan = self._mode_plans[8]
+        self._window_cycles = self.triggers.window_cycles
 
     # -- trigger FSM ----------------------------------------------------------
 
@@ -166,72 +228,54 @@ class PLBPolicy(GatingPolicy):
     # -- policy interface ------------------------------------------------------
 
     def constraints(self, cycle: int) -> CycleConstraints:
-        if cycle > 0 and cycle % self.triggers.window_cycles == 0:
+        if cycle > 0 and cycle % self._window_cycles == 0:
             self._update_mode()
             self._window_issued = 0
             self._window_fp_issued = 0
-        cfg = self.config
-        resources = MODE_RESOURCES[self.mode]
-        cons = CycleConstraints(
-            issue_width=self.mode,
-            rename_width=self.mode,
-            dcache_ports=cfg.dcache_ports,
-            result_buses=cfg.result_buses,
-            disabled_fus=dict(resources["disabled_fus"]),
-        )
-        if self.extended:
-            cons.dcache_ports = (cfg.dcache_ports
-                                 - resources["dcache_ports_disabled"])
-            cons.result_buses = (cfg.result_buses
-                                 - resources["result_buses_disabled"])
-        return cons
+            self._plan = self._mode_plans[self.mode]
+        return self._plan.constraints
 
     def observe(self, usage: CycleUsage) -> GateDecision:
         self._window_issued += usage.issued
         self._window_fp_issued += usage.issued_fp
-        self.mode_cycles[self.mode] += 1
+        mode = self.mode
+        self.mode_cycles[mode] += 1
 
-        cfg = self.config
-        resources = MODE_RESOURCES[self.mode]
+        plan = self._plan
         decision = GateDecision(
-            issue_queue_gated_fraction=resources["iq_fraction_gated"])
+            issue_queue_gated_fraction=plan.iq_fraction)
 
         # execution units: a disabled instance is gated only once any
         # in-flight work from before the mode switch has drained
-        for fu_class, disabled in resources["disabled_fus"].items():
-            mask = usage.fu_active.get(fu_class, ())
-            still_active = sum(1 for on in mask[len(mask) - disabled:] if on)
-            decision.fu_gated[fu_class] = disabled - still_active
+        fu_active = usage.fu_active
+        fu_gated = decision.fu_gated
+        for fu_class, disabled in plan.disabled_fus.items():
+            mask = fu_active.get(fu_class, ())
+            still_active = 0
+            for on in mask[len(mask) - disabled:]:
+                if on:
+                    still_active += 1
+            fu_gated[fu_class] = disabled - still_active
 
         if not self.extended:
             return decision
 
         # PLB-ext: latches, D-cache decoder port, result buses
-        depth = cfg.depth
-        width = cfg.issue_width
-        fraction = resources["latch_fraction_gated"]
-        gated_slots = 0
-        for stage, segments in (("rename", depth.rename),
-                                ("regread", depth.regread),
-                                ("execute", depth.execute),
-                                ("mem", depth.mem),
-                                ("writeback", depth.writeback),
-                                (None, depth.fetch + depth.decode + depth.issue)):
-            capacity = width * segments
-            target = int(capacity * fraction)
-            if stage is None:
-                # front-end latches: cluster gating simply disables the
-                # unused slot fraction (usage always fits the mode width)
-                gated_slots += target
-            else:
-                used = usage.latch_slots.get(stage, 0)
-                gated_slots += min(target, capacity - used)
+        gated_slots = plan.front_end_gated
+        latch_slots = usage.latch_slots
+        for stage, capacity, target in plan.latch_rows:
+            free = capacity - latch_slots.get(stage, 0)
+            gated_slots += target if target < free else free
         decision.latch_gated_slots = gated_slots
 
-        ports_disabled = resources["dcache_ports_disabled"]
-        decision.dcache_ports_gated = min(
-            ports_disabled, cfg.dcache_ports - usage.dcache_ports_used)
-        buses_disabled = resources["result_buses_disabled"]
-        decision.result_buses_gated = min(
-            buses_disabled, cfg.result_buses - usage.result_bus_used)
+        cfg = self.config
+        free_ports = (cfg.dcache_ports - usage.dcache_load_ports
+                      - usage.dcache_store_ports)
+        ports_disabled = plan.dcache_ports_disabled
+        decision.dcache_ports_gated = (
+            ports_disabled if ports_disabled < free_ports else free_ports)
+        free_buses = cfg.result_buses - usage.result_bus_used
+        buses_disabled = plan.result_buses_disabled
+        decision.result_buses_gated = (
+            buses_disabled if buses_disabled < free_buses else free_buses)
         return decision

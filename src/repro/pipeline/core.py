@@ -102,6 +102,38 @@ class Pipeline:
         self._issue_to_execute = depth.issue_to_execute
         self._issue_to_mem = depth.issue_to_mem
 
+        # per-cycle loop constants, hoisted out of the hot path
+        self._fetch_width = config.fetch_width
+        self._commit_width = config.commit_width
+        self._issue_width_cfg = config.issue_width
+        self._decode_width = config.decode_width
+        self._window_size = config.window_size
+        self._lsq_size = config.lsq_size
+        self._writeback_depth = depth.writeback
+        self._rename_depth = depth.rename
+        self._line_bytes = self.hierarchy.l1i.line_bytes
+        self._l1i_hit_latency = self.hierarchy.config.l1i.hit_latency
+        self._l1d_hit_latency = self.hierarchy.config.l1d.hit_latency
+        # latch one-hot delay offsets (§3.2): slots the issue count of
+        # cycle ``c - off`` clocks at cycle ``c``, per gated stage
+        regread, execute, mem = depth.regread, depth.execute, depth.mem
+        self._rf_offsets = tuple(range(1, regread + 1))
+        self._ex_offsets = tuple(range(regread + 1, regread + execute + 1))
+        self._mem_offsets = tuple(range(regread + execute + 1,
+                                        regread + execute + mem + 1))
+        # issue-count history lives in a ring buffer: the deepest
+        # look-back is regread+execute+mem cycles, and each slot is
+        # rewritten before it can be read again
+        self._ring_size = regread + execute + mem + 1
+        self._issued_ring = [0] * self._ring_size
+        # per-class activity-mask rows: (class, all-False mask, indices)
+        self._fu_rows: Tuple[Tuple[FUClass, Tuple[bool, ...],
+                                   Tuple[int, ...]], ...] = tuple(
+            (cls, (False,) * count, tuple(range(count)))
+            for cls in _FU_EXEC_CLASSES
+            for count in (self.fupool.counts.get(cls, 0),))
+        self._last_cons: Optional[CycleConstraints] = None
+
         # machine state
         self.cycle = 0
         self._window: Deque[InflightOp] = deque()
@@ -119,8 +151,6 @@ class Pipeline:
         self._fu_activity: Dict[int, Dict[FUClass, Set[int]]] = {}
         self._port_loads: Dict[int, int] = {}
         self._port_stores: Dict[int, int] = {}
-        self._issued_at: Dict[int, int] = {}
-        self._dispatched_at: Dict[int, int] = {}
 
         # fetch state
         self._fetch_blocked_until = 0
@@ -161,13 +191,19 @@ class Pipeline:
         """Simulate until ``max_instructions`` commit (or the trace ends
         and the pipeline drains).  Returns the statistics object."""
         target = max_instructions
+        stats = self.stats
+        stream = self.stream
+        window = self._window
+        step = self._step
         while True:
-            if target is not None and self.stats.committed >= target:
+            if target is not None and stats.committed >= target:
                 break
-            if (self.stream.exhausted and not self._window
-                    and not self._frontend):
+            # the empty-machine checks go first: ``stream.exhausted``
+            # costs a lookahead fill, and the window is non-empty on
+            # almost every mid-run cycle
+            if (not window and not self._frontend and stream.exhausted):
                 break
-            self._step()
+            step()
             if self.cycle - self._last_commit_cycle > _DEADLOCK_LIMIT:
                 raise RuntimeError(
                     f"pipeline deadlock: no commit since cycle "
@@ -178,10 +214,16 @@ class Pipeline:
     def _step(self) -> None:
         c = self.cycle
         cons = self.policy.constraints(c)
-        self._apply_fu_constraints(cons)
+        if cons is not self._last_cons:
+            # policies return a cached constraints object per (piecewise-)
+            # constant regime, so the FU disable counts only need
+            # re-applying when the object changes (PLB mode switches)
+            self._apply_fu_constraints(cons)
+            self._last_cons = cons
         usage = CycleUsage(cycle=c)
 
-        self._do_resolve(c)
+        if self._resolve_at:
+            self._do_resolve(c)
         self._do_complete(c, cons, usage)
         self._do_commit(c, cons, usage)
         self._do_issue(c, cons, usage)
@@ -251,29 +293,32 @@ class Pipeline:
 
     def _do_complete(self, c: int, cons: CycleConstraints,
                      usage: CycleUsage) -> None:
-        bus_writers = self._bus_complete.pop(c, [])
-        if self.config.model_wrong_path:
-            bus_writers = [op for op in bus_writers if not op.squashed]
-        if len(bus_writers) > cons.result_buses:
-            # more results than enabled buses: spill the excess to the
-            # next cycle (PLB's disabled result buses cause this)
-            overflow = bus_writers[cons.result_buses:]
-            bus_writers = bus_writers[:cons.result_buses]
-            self._bus_complete.setdefault(c + 1, []).extend(overflow)
-        for op in bus_writers:
-            op.completed = True
-            op.complete_cycle = c
-        others = self._other_complete.pop(c, [])
-        if self.config.model_wrong_path:
-            others = [op for op in others if not op.squashed]
-        for op in others:
-            op.completed = True
-            op.complete_cycle = c
-        usage.result_bus_used = len(bus_writers)
+        model_wrong_path = self.config.model_wrong_path
+        bus_writers = self._bus_complete.pop(c, ())
+        if bus_writers:
+            if model_wrong_path:
+                bus_writers = [op for op in bus_writers if not op.squashed]
+            if len(bus_writers) > cons.result_buses:
+                # more results than enabled buses: spill the excess to the
+                # next cycle (PLB's disabled result buses cause this)
+                overflow = bus_writers[cons.result_buses:]
+                bus_writers = bus_writers[:cons.result_buses]
+                self._bus_complete.setdefault(c + 1, []).extend(overflow)
+            for op in bus_writers:
+                op.completed = True
+                op.complete_cycle = c
+        others = self._other_complete.pop(c, ())
+        if others:
+            if model_wrong_path:
+                others = [op for op in others if not op.squashed]
+            for op in others:
+                op.completed = True
+                op.complete_cycle = c
+        buses_used = len(bus_writers)
+        usage.result_bus_used = buses_used
         # only result-carrying ops clock the writeback latches; stores
         # and resolved branches complete through ROB bookkeeping alone
-        usage.latch_slots["writeback"] = (
-            len(bus_writers) * self.config.depth.writeback)
+        usage.latch_slots["writeback"] = buses_used * self._writeback_depth
 
     # ------------------------------------------------------------------
     # commit
@@ -282,35 +327,44 @@ class Pipeline:
     def _do_commit(self, c: int, cons: CycleConstraints,
                    usage: CycleUsage) -> None:
         committed = 0
-        while self._window and committed < self.config.commit_width:
-            op = self._window[0]
-            if not op.completed:
-                break
-            if op.uop.is_store:
-                access_cycle = c + cons.store_extra_delay
-                used = (self._port_loads.get(access_cycle, 0)
-                        + self._port_stores.get(access_cycle, 0))
-                if used >= cons.dcache_ports:
-                    break  # no D-cache port for the store this cycle
-                self._port_stores[access_cycle] = (
-                    self._port_stores.get(access_cycle, 0) + 1)
-                self.hierarchy.store(op.uop.mem_addr)
-                self.stats.stores += 1
-                if self._store_map.get(op.uop.mem_addr) is op:
-                    del self._store_map[op.uop.mem_addr]
-            self._window.popleft()
-            op.committed = True
-            op.commit_cycle = c
-            committed += 1
-            self.stats.committed += 1
-            self.stats.note_commit(op.uop)
-            if op.uop.is_mem:
-                self._lsq_count -= 1
-            dest = op.uop.dest
-            if dest is not None and self._reg_producer.get(dest) is op:
-                del self._reg_producer[dest]
-        if committed:
-            self._last_commit_cycle = c
+        window = self._window
+        if window:
+            commit_width = self._commit_width
+            stats = self.stats
+            commit_counts = stats.commit_class_counts
+            port_loads = self._port_loads
+            port_stores = self._port_stores
+            store_map = self._store_map
+            reg_producer = self._reg_producer
+            while window and committed < commit_width:
+                op = window[0]
+                if not op.completed:
+                    break
+                uop = op.uop
+                if uop.is_store:
+                    access_cycle = c + cons.store_extra_delay
+                    stores_now = port_stores.get(access_cycle, 0)
+                    used = port_loads.get(access_cycle, 0) + stores_now
+                    if used >= cons.dcache_ports:
+                        break  # no D-cache port for the store this cycle
+                    port_stores[access_cycle] = stores_now + 1
+                    self.hierarchy.store(uop.mem_addr)
+                    stats.stores += 1
+                    if store_map.get(uop.mem_addr) is op:
+                        del store_map[uop.mem_addr]
+                window.popleft()
+                op.committed = True
+                op.commit_cycle = c
+                committed += 1
+                stats.committed += 1
+                commit_counts[uop.op_class] += 1
+                if uop.is_mem:
+                    self._lsq_count -= 1
+                dest = uop.dest
+                if dest is not None and reg_producer.get(dest) is op:
+                    del reg_producer[dest]
+            if committed:
+                self._last_commit_cycle = c
         usage.committed = committed
 
     # ------------------------------------------------------------------
@@ -319,21 +373,33 @@ class Pipeline:
 
     def _do_issue(self, c: int, cons: CycleConstraints,
                   usage: CycleUsage) -> None:
-        issued: List[InflightOp] = []
-        width = min(cons.issue_width, self.config.issue_width)
-        for op in self._pending_issue:
-            if len(issued) >= width:
-                break
-            if not op.can_issue(c):
-                continue
-            if self._try_issue_one(op, c, cons, usage):
-                issued.append(op)
-        if issued:
-            done = set(id(op) for op in issued)
-            self._pending_issue = [
-                op for op in self._pending_issue if id(op) not in done]
-        usage.issued = len(issued)
-        self._issued_at[c] = len(issued)
+        pending = self._pending_issue
+        issued = 0
+        if pending:
+            width = cons.issue_width
+            if self._issue_width_cfg < width:
+                width = self._issue_width_cfg
+            # single select pass: the kept-ops list is only built from
+            # the first successful issue on, so a cycle that issues
+            # nothing costs one scan and no allocation
+            keep: Optional[List[InflightOp]] = None
+            for i, op in enumerate(pending):
+                if issued >= width:
+                    if keep is not None:
+                        keep.extend(pending[i:])
+                    break
+                if (op.issued_cycle is None and op.unresolved == 0
+                        and op.ready_cycle <= c
+                        and self._try_issue_one(op, c, cons, usage)):
+                    issued += 1
+                    if keep is None:
+                        keep = pending[:i]
+                elif keep is not None:
+                    keep.append(op)
+            if keep is not None:
+                self._pending_issue = keep
+        usage.issued = issued
+        self._issued_ring[c % self._ring_size] = issued
 
     def _try_issue_one(self, op: InflightOp, c: int,
                        cons: CycleConstraints, usage: CycleUsage) -> bool:
@@ -351,20 +417,38 @@ class Pipeline:
         unit = self.fupool.try_allocate(uop.op_class, ex_start)
         if unit is None:
             return False
-        self._record_fu_activity(unit.fu_class, unit.index,
-                                 ex_start, spec.latency)
-        usage.grants.append((unit.fu_class, unit.index, spec.latency))
-        op.issued_cycle = c
         latency = spec.latency
+        fu_class = unit.fu_class
+        index = unit.index
+        activity = self._fu_activity
+        for cc in range(ex_start, ex_start + latency):
+            per_cycle = activity.get(cc)
+            if per_cycle is None:
+                activity[cc] = {fu_class: {index}}
+            else:
+                claimed = per_cycle.get(fu_class)
+                if claimed is None:
+                    per_cycle[fu_class] = {index}
+                else:
+                    claimed.add(index)
+        usage.grants.append((fu_class, index, latency))
+        op.issued_cycle = c
         op.schedule(c + latency)
         complete = c + 1 + latency
-        if uop.dest is not None:
-            self._bus_complete.setdefault(complete, []).append(op)
+        calendar = (self._bus_complete if uop.dest is not None
+                    else self._other_complete)
+        waiting = calendar.get(complete)
+        if waiting is None:
+            calendar[complete] = [op]
         else:
-            self._other_complete.setdefault(complete, []).append(op)
+            waiting.append(op)
         if uop.is_branch:
-            self._resolve_at.setdefault(
-                c + self._issue_to_execute, []).append(op)
+            resolve = self._resolve_at
+            waiting = resolve.get(ex_start)
+            if waiting is None:
+                resolve[ex_start] = [op]
+            else:
+                waiting.append(op)
         if uop.is_fp:
             usage.issued_fp += 1
         return True
@@ -380,16 +464,17 @@ class Pipeline:
                 return False  # wait for the older store's address/data
             forwarding_from = store
         mem_cycle = c + self._issue_to_mem
-        port_used = (self._port_loads.get(mem_cycle, 0)
-                     + self._port_stores.get(mem_cycle, 0))
+        port_loads = self._port_loads
+        loads_now = port_loads.get(mem_cycle, 0)
+        port_used = loads_now + self._port_stores.get(mem_cycle, 0)
         if port_used >= cons.dcache_ports:
             return False
         if self.fupool.try_allocate(uop.op_class, mem_cycle) is None:
             return False  # all memory-issue ports busy
-        self._port_loads[mem_cycle] = self._port_loads.get(mem_cycle, 0) + 1
+        port_loads[mem_cycle] = loads_now + 1
         self._last_mem_addr = addr
         raw_latency = self.hierarchy.load(addr)
-        hit_latency = self.hierarchy.config.l1d.hit_latency
+        hit_latency = self._l1d_hit_latency
         if forwarding_from is not None:
             data_ready = (forwarding_from.issued_cycle
                           + self._issue_to_execute)
@@ -433,44 +518,54 @@ class Pipeline:
 
     def _do_dispatch(self, c: int, cons: CycleConstraints,
                      usage: CycleUsage) -> None:
-        width = min(self.config.decode_width, cons.rename_width)
         dispatched = 0
-        while (self._frontend and dispatched < width
-               and len(self._window) < self.config.window_size):
-            entry = self._frontend[0]
-            if entry.ready_cycle > c:
-                break
-            uop = entry.uop
-            if uop.is_mem and self._lsq_count >= self.config.lsq_size:
-                break
-            self._frontend.popleft()
-            op = InflightOp(uop, c)
-            op.ready_cycle = c + 1
-            op.wrong_path = entry.wrong_path
-            if uop.is_branch:
-                op.predicted_taken, op.predicted_target = entry.prediction
-                if entry.is_mispredicted_branch:
-                    # checkpoint the rename map so the wrong path the
-                    # fetch stage is about to inject can be undone
-                    self._checkpoint = (op, dict(self._reg_producer))
-            for src in uop.srcs:
-                producer = self._reg_producer.get(src)
-                if producer is not None and not producer.committed:
-                    op.add_producer(producer)
-            if uop.dest is not None:
-                self._reg_producer[uop.dest] = op
-            if uop.is_mem:
-                self._lsq_count += 1
-                if uop.is_store:
-                    self._store_map[uop.mem_addr] = op
-            self._window.append(op)
-            self._pending_issue.append(op)
-            if len(self.captured_ops) < self._capture_limit:
-                self.captured_ops.append(op)
-            dispatched += 1
+        frontend = self._frontend
+        if frontend:
+            width = self._decode_width
+            if cons.rename_width < width:
+                width = cons.rename_width
+            window = self._window
+            window_size = self._window_size
+            lsq_size = self._lsq_size
+            reg_producer = self._reg_producer
+            pending_issue = self._pending_issue
+            capturing = len(self.captured_ops) < self._capture_limit
+            next_ready = c + 1
+            while (frontend and dispatched < width
+                   and len(window) < window_size):
+                entry = frontend[0]
+                if entry.ready_cycle > c:
+                    break
+                uop = entry.uop
+                if uop.is_mem and self._lsq_count >= lsq_size:
+                    break
+                frontend.popleft()
+                op = InflightOp(uop, c)
+                op.ready_cycle = next_ready
+                op.wrong_path = entry.wrong_path
+                if uop.is_branch:
+                    op.predicted_taken, op.predicted_target = entry.prediction
+                    if entry.is_mispredicted_branch:
+                        # checkpoint the rename map so the wrong path the
+                        # fetch stage is about to inject can be undone
+                        self._checkpoint = (op, dict(reg_producer))
+                for src in uop.srcs:
+                    producer = reg_producer.get(src)
+                    if producer is not None and not producer.committed:
+                        op.add_producer(producer)
+                if uop.dest is not None:
+                    reg_producer[uop.dest] = op
+                if uop.is_mem:
+                    self._lsq_count += 1
+                    if uop.is_store:
+                        self._store_map[uop.mem_addr] = op
+                window.append(op)
+                pending_issue.append(op)
+                if capturing and len(self.captured_ops) < self._capture_limit:
+                    self.captured_ops.append(op)
+                dispatched += 1
         usage.dispatched = dispatched
         usage.renamed = dispatched
-        self._dispatched_at[c] = dispatched
 
     # ------------------------------------------------------------------
     # fetch
@@ -485,22 +580,26 @@ class Pipeline:
                 usage.fetch_stalled = True
             return
         fetched = 0
-        line_bytes = self.hierarchy.l1i.line_bytes
-        while (fetched < self.config.fetch_width
-               and len(self._frontend) < self._frontend_cap):
-            uop = self.stream.peek()
+        line_bytes = self._line_bytes
+        stream = self.stream
+        frontend = self._frontend
+        fetch_width = self._fetch_width
+        cap = self._frontend_cap
+        ready = c + self._front_latency
+        while fetched < fetch_width and len(frontend) < cap:
+            uop = stream.peek()
             if uop is None:
                 break
             line = uop.pc // line_bytes
             if line != self._last_fetch_line:
                 latency = self.hierarchy.fetch(uop.pc)
                 self._last_fetch_line = line
-                if latency > self.hierarchy.config.l1i.hit_latency:
+                if latency > self._l1i_hit_latency:
                     self._fetch_blocked_until = c + latency
                     break
-            uop = self.stream.next()
-            entry = _FrontendEntry(uop, c + self._front_latency)
-            self._frontend.append(entry)
+            uop = stream.next()
+            entry = _FrontendEntry(uop, ready)
+            frontend.append(entry)
             fetched += 1
             self.stats.fetched += 1
             if uop.is_branch:
@@ -539,14 +638,14 @@ class Pipeline:
         like real work — burning front-end bandwidth and back-end
         resources — and are squashed at resolution."""
         fetched = 0
-        line_bytes = self.hierarchy.l1i.line_bytes
-        while (fetched < self.config.fetch_width
+        line_bytes = self._line_bytes
+        while (fetched < self._fetch_width
                and len(self._frontend) < self._frontend_cap):
             line = self._wp_pc // line_bytes
             if line != self._last_fetch_line:
                 latency = self.hierarchy.fetch(self._wp_pc)
                 self._last_fetch_line = line
-                if latency > self.hierarchy.config.l1i.hit_latency:
+                if latency > self._l1i_hit_latency:
                     self._fetch_blocked_until = c + latency
                     break
             uop = self._synth_wrong_path_op()
@@ -579,34 +678,41 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def _finish_cycle(self, c: int, usage: CycleUsage) -> None:
-        depth = self.config.depth
-        # gated-stage latch usage from the delayed issue one-hots
-        rf = sum(self._issued_at.get(c - d, 0)
-                 for d in range(1, depth.regread + 1))
-        ex_base = depth.regread
-        ex = sum(self._issued_at.get(c - ex_base - d, 0)
-                 for d in range(1, depth.execute + 1))
-        mem_base = depth.regread + depth.execute
-        mem = sum(self._issued_at.get(c - mem_base - d, 0)
-                  for d in range(1, depth.mem + 1))
-        usage.latch_slots["regread"] = rf
-        usage.latch_slots["execute"] = ex
-        usage.latch_slots["mem"] = mem
-        usage.latch_slots["rename"] = usage.renamed * depth.rename
-        usage.latch_slots.setdefault("writeback", 0)
+        # gated-stage latch usage from the delayed issue one-hots; the
+        # ring holds the last ring_size issue counts and unwritten slots
+        # are still zero, matching the "before cycle 0" ground state
+        ring = self._issued_ring
+        size = self._ring_size
+        rf = 0
+        for off in self._rf_offsets:
+            rf += ring[(c - off) % size]
+        ex = 0
+        for off in self._ex_offsets:
+            ex += ring[(c - off) % size]
+        mem = 0
+        for off in self._mem_offsets:
+            mem += ring[(c - off) % size]
+        latch_slots = usage.latch_slots
+        latch_slots["regread"] = rf
+        latch_slots["execute"] = ex
+        latch_slots["mem"] = mem
+        latch_slots["rename"] = usage.renamed * self._rename_depth
 
-        activity = self._fu_activity.pop(c, {})
-        for fu_class in _FU_EXEC_CLASSES:
-            count = self.fupool.counts.get(fu_class, 0)
-            active = activity.get(fu_class, ())
-            usage.fu_active[fu_class] = tuple(
-                i in active for i in range(count))
+        activity = self._fu_activity.pop(c, None)
+        fu_active = usage.fu_active
+        if activity is None:
+            for fu_class, all_idle, _indices in self._fu_rows:
+                fu_active[fu_class] = all_idle
+        else:
+            for fu_class, all_idle, indices in self._fu_rows:
+                claimed = activity.get(fu_class)
+                if claimed is None:
+                    fu_active[fu_class] = all_idle
+                else:
+                    fu_active[fu_class] = tuple(
+                        i in claimed for i in indices)
         usage.dcache_load_ports = self._port_loads.pop(c, 0)
         usage.dcache_store_ports = self._port_stores.pop(c, 0)
         usage.window_occupancy = len(self._window)
         usage.lsq_occupancy = self._lsq_count
         self.stats.cycles = c + 1
-        # purge stale issue history
-        horizon = c - (depth.regread + depth.execute + depth.mem + 2)
-        self._issued_at.pop(horizon, None)
-        self._dispatched_at.pop(horizon, None)

@@ -4,11 +4,16 @@ The pipeline emits one :class:`CycleUsage` at the end of every cycle.
 Gating policies and the power accountant consume it: policies decide
 which blocks were (or could have been) clock-gated; the accountant
 converts usage + gate decisions into energy.
+
+Both records live on the simulator's per-cycle hot path — one
+:class:`CycleUsage` is allocated and one :meth:`UsageTotals.add` runs
+every simulated cycle — so they are plain ``__slots__`` classes rather
+than dataclasses: slot attribute access is what the cycle loop, the
+policies, and the accountant spend their time on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..trace.uop import FUClass
@@ -16,34 +21,49 @@ from ..trace.uop import FUClass
 __all__ = ["CycleUsage", "UsageTotals"]
 
 
-@dataclass
 class CycleUsage:
     """Everything that happened in one cycle, as the clock tree sees it."""
 
-    cycle: int = 0
-    fetched: int = 0
-    decoded: int = 0
-    renamed: int = 0          #: ops crossing the rename-stage output latch
-    dispatched: int = 0
-    issued: int = 0
-    issued_loads: int = 0
-    issued_stores: int = 0
-    issued_fp: int = 0
-    committed: int = 0
-    #: per-FU-class tuple of per-instance activity (True = op in flight)
-    fu_active: Dict[FUClass, Tuple[bool, ...]] = field(default_factory=dict)
-    #: selection-logic GRANT signals raised this cycle, as
-    #: (fu_class, instance index, execute-stage occupancy in cycles) —
-    #: DCG's §3.1 advance information
-    grants: List[Tuple[FUClass, int, int]] = field(default_factory=list)
-    #: gated-stage latch slot usage, keyed by stage name
-    latch_slots: Dict[str, int] = field(default_factory=dict)
-    dcache_load_ports: int = 0
-    dcache_store_ports: int = 0
-    result_bus_used: int = 0
-    window_occupancy: int = 0
-    lsq_occupancy: int = 0
-    fetch_stalled: bool = False
+    __slots__ = (
+        "cycle", "fetched", "decoded", "renamed", "dispatched", "issued",
+        "issued_loads", "issued_stores", "issued_fp", "committed",
+        "fu_active", "grants", "latch_slots", "dcache_load_ports",
+        "dcache_store_ports", "result_bus_used", "window_occupancy",
+        "lsq_occupancy", "fetch_stalled",
+    )
+
+    def __init__(self, cycle: int = 0, fetched: int = 0, decoded: int = 0,
+                 renamed: int = 0, dispatched: int = 0, issued: int = 0,
+                 issued_loads: int = 0, issued_stores: int = 0,
+                 issued_fp: int = 0, committed: int = 0,
+                 dcache_load_ports: int = 0, dcache_store_ports: int = 0,
+                 result_bus_used: int = 0, window_occupancy: int = 0,
+                 lsq_occupancy: int = 0, fetch_stalled: bool = False) -> None:
+        self.cycle = cycle
+        self.fetched = fetched
+        self.decoded = decoded
+        #: ops crossing the rename-stage output latch
+        self.renamed = renamed
+        self.dispatched = dispatched
+        self.issued = issued
+        self.issued_loads = issued_loads
+        self.issued_stores = issued_stores
+        self.issued_fp = issued_fp
+        self.committed = committed
+        #: per-FU-class tuple of per-instance activity (True = op in flight)
+        self.fu_active: Dict[FUClass, Tuple[bool, ...]] = {}
+        #: selection-logic GRANT signals raised this cycle, as
+        #: (fu_class, instance index, execute-stage occupancy in cycles) —
+        #: DCG's §3.1 advance information
+        self.grants: List[Tuple[FUClass, int, int]] = []
+        #: gated-stage latch slot usage, keyed by stage name
+        self.latch_slots: Dict[str, int] = {}
+        self.dcache_load_ports = dcache_load_ports
+        self.dcache_store_ports = dcache_store_ports
+        self.result_bus_used = result_bus_used
+        self.window_occupancy = window_occupancy
+        self.lsq_occupancy = lsq_occupancy
+        self.fetch_stalled = fetch_stalled
 
     @property
     def dcache_ports_used(self) -> int:
@@ -52,36 +72,49 @@ class CycleUsage:
     def fu_used_count(self, fu_class: FUClass) -> int:
         return sum(self.fu_active.get(fu_class, ()))
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CycleUsage cycle={self.cycle} fetched={self.fetched} "
+                f"issued={self.issued} committed={self.committed}>")
 
-@dataclass
+
 class UsageTotals:
     """Running sums of :class:`CycleUsage`, for utilisation reports."""
 
-    cycles: int = 0
-    issued: int = 0
-    committed: int = 0
-    fetched: int = 0
-    fu_active_cycles: Dict[FUClass, int] = field(default_factory=dict)
-    fu_capacity_cycles: Dict[FUClass, int] = field(default_factory=dict)
-    latch_slot_cycles: Dict[str, int] = field(default_factory=dict)
-    dcache_port_cycles: int = 0
-    result_bus_cycles: int = 0
-    fetch_stall_cycles: int = 0
+    __slots__ = (
+        "cycles", "issued", "committed", "fetched", "fu_active_cycles",
+        "fu_capacity_cycles", "latch_slot_cycles", "dcache_port_cycles",
+        "result_bus_cycles", "fetch_stall_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.issued = 0
+        self.committed = 0
+        self.fetched = 0
+        self.fu_active_cycles: Dict[FUClass, int] = {}
+        self.fu_capacity_cycles: Dict[FUClass, int] = {}
+        self.latch_slot_cycles: Dict[str, int] = {}
+        self.dcache_port_cycles = 0
+        self.result_bus_cycles = 0
+        self.fetch_stall_cycles = 0
 
     def add(self, usage: CycleUsage) -> None:
         self.cycles += 1
         self.issued += usage.issued
         self.committed += usage.committed
         self.fetched += usage.fetched
+        active_cycles = self.fu_active_cycles
+        capacity_cycles = self.fu_capacity_cycles
         for fu_class, mask in usage.fu_active.items():
-            self.fu_active_cycles[fu_class] = (
-                self.fu_active_cycles.get(fu_class, 0) + sum(mask))
-            self.fu_capacity_cycles[fu_class] = (
-                self.fu_capacity_cycles.get(fu_class, 0) + len(mask))
+            active_cycles[fu_class] = (
+                active_cycles.get(fu_class, 0) + sum(mask))
+            capacity_cycles[fu_class] = (
+                capacity_cycles.get(fu_class, 0) + len(mask))
+        slot_cycles = self.latch_slot_cycles
         for stage, slots in usage.latch_slots.items():
-            self.latch_slot_cycles[stage] = (
-                self.latch_slot_cycles.get(stage, 0) + slots)
-        self.dcache_port_cycles += usage.dcache_ports_used
+            slot_cycles[stage] = slot_cycles.get(stage, 0) + slots
+        self.dcache_port_cycles += (usage.dcache_load_ports
+                                    + usage.dcache_store_ports)
         self.result_bus_cycles += usage.result_bus_used
         if usage.fetch_stalled:
             self.fetch_stall_cycles += 1

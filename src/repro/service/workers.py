@@ -152,6 +152,11 @@ class WorkerPool:
         self.retries = 0
         self.timeouts = 0
         self.hits: Dict[str, int] = {"memory": 0, "disk": 0}
+        # per-run timing aggregates (actual simulations only, cache hits
+        # excluded) — the service's /metrics perf trajectory
+        self.sim_seconds_total = 0.0
+        self.sim_instructions_total = 0
+        self.sim_cycles_total = 0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -214,8 +219,12 @@ class WorkerPool:
             return
         with self._runner_lock:
             self.runner.memoise_spec(spec, result)
-        self.durations.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self.durations.append(elapsed)
         self.simulated += 1
+        self.sim_seconds_total += elapsed
+        self.sim_instructions_total += result.instructions
+        self.sim_cycles_total += result.cycles
         self.queue.complete(job, result, "run")
 
     def _attempt(self, job: Job) -> SimulationResult:
@@ -251,4 +260,13 @@ class WorkerPool:
             "timeouts": self.timeouts,
             "p50_seconds": percentile(samples, 0.50),
             "p95_seconds": percentile(samples, 0.95),
+            "sim_seconds_total": self.sim_seconds_total,
+            "sim_instructions_total": self.sim_instructions_total,
+            "sim_cycles_total": self.sim_cycles_total,
+            "sim_instructions_per_second": (
+                self.sim_instructions_total / self.sim_seconds_total
+                if self.sim_seconds_total else 0.0),
+            "sim_cycles_per_second": (
+                self.sim_cycles_total / self.sim_seconds_total
+                if self.sim_seconds_total else 0.0),
         }

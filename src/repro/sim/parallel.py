@@ -48,11 +48,20 @@ class RunSpec:
 
 @dataclass
 class RunReport:
-    """Timing/provenance of one completed run, for progress lines."""
+    """Timing/provenance of one completed run, for progress lines.
+
+    ``seconds`` is the wall-clock of the unit actually measured.  For
+    local runs that is this spec alone (``batch_size == 1``); for
+    remote batches one HTTP round-trip serves many specs, so every
+    spec's report carries the whole batch's elapsed time plus the batch
+    size — the caller can show an honest total instead of a fabricated
+    per-spec average.
+    """
 
     spec: RunSpec
     seconds: float
     source: str                    #: "run" | "memory" | "disk" | "remote"
+    batch_size: int = 1            #: specs sharing this measurement
 
     @property
     def instructions_per_second(self) -> float:

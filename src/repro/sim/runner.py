@@ -102,9 +102,10 @@ class ExperimentRunner:
                            get_profile(spec.benchmark), spec.policy,
                            spec.instructions, self.calibration, spec.seed)
 
-    def _report(self, spec: RunSpec, seconds: float, source: str) -> None:
+    def _report(self, spec: RunSpec, seconds: float, source: str,
+                batch_size: int = 1) -> None:
         if self.progress is not None:
-            self.progress(RunReport(spec, seconds, source))
+            self.progress(RunReport(spec, seconds, source, batch_size))
 
     def _memoise(self, key: Tuple[str, str, str], spec: RunSpec,
                  result: SimulationResult, persist: bool) -> None:
@@ -143,8 +144,11 @@ class ExperimentRunner:
             start = time.perf_counter()
             results = self.remote.run_specs(specs)
             elapsed = time.perf_counter() - start
+            # one round-trip served the whole batch: report the batch
+            # total with its size, not a fabricated per-spec average
+            batch = len(specs)
             for spec in specs:
-                self._report(spec, elapsed / len(specs), "remote")
+                self._report(spec, elapsed, "remote", batch_size=batch)
             return results
         return execute_specs(specs, self.calibration, jobs=jobs,
                              progress=self.progress)

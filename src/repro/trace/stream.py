@@ -66,15 +66,21 @@ class TraceStream:
 
     def peek(self) -> Optional[MicroOp]:
         """Next micro-op without consuming it, or ``None`` at end."""
+        op = self._lookahead
+        if op is not None:
+            return op
         self._fill()
         return self._lookahead
 
     def next(self) -> MicroOp:
         """Consume and return the next micro-op."""
-        self._fill()
-        if self._lookahead is None:
-            raise TraceExhausted(f"trace ended after {self._delivered} micro-ops")
         op = self._lookahead
+        if op is None:
+            self._fill()
+            op = self._lookahead
+            if op is None:
+                raise TraceExhausted(
+                    f"trace ended after {self._delivered} micro-ops")
         self._lookahead = None
         self._delivered += 1
         return op

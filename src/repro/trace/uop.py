@@ -73,6 +73,23 @@ _OP_TO_FU = {
 }
 
 
+#: per-op-class classification flags, precomputed once so MicroOp
+#: construction assigns plain attributes instead of leaving the flags
+#: as properties — the pipeline reads them many times per op
+_CLASS_FLAGS = {
+    cls: (
+        _OP_TO_FU[cls],
+        cls is OpClass.LOAD,
+        cls is OpClass.STORE,
+        cls in MEM_OP_CLASSES,
+        cls is OpClass.BRANCH,
+        cls in FP_OP_CLASSES,
+        cls in INT_OP_CLASSES,
+    )
+    for cls in OpClass
+}
+
+
 class MicroOp:
     """One dynamic instruction as seen by the timing model.
 
@@ -98,7 +115,8 @@ class MicroOp:
     """
 
     __slots__ = ("seq", "pc", "op_class", "srcs", "dest", "mem_addr",
-                 "taken", "target")
+                 "taken", "target", "fu_class", "is_load", "is_store",
+                 "is_mem", "is_branch", "is_fp", "is_int")
 
     def __init__(
         self,
@@ -123,37 +141,10 @@ class MicroOp:
         self.mem_addr = mem_addr
         self.taken = taken
         self.target = target
+        (self.fu_class, self.is_load, self.is_store, self.is_mem,
+         self.is_branch, self.is_fp, self.is_int) = _CLASS_FLAGS[op_class]
 
     # -- classification helpers -------------------------------------------
-
-    @property
-    def fu_class(self) -> FUClass:
-        """Functional-unit class this op executes on."""
-        return _OP_TO_FU[self.op_class]
-
-    @property
-    def is_load(self) -> bool:
-        return self.op_class is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op_class is OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op_class in MEM_OP_CLASSES
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op_class is OpClass.BRANCH
-
-    @property
-    def is_fp(self) -> bool:
-        return self.op_class in FP_OP_CLASSES
-
-    @property
-    def is_int(self) -> bool:
-        return self.op_class in INT_OP_CLASSES
 
     @property
     def writes_register(self) -> bool:

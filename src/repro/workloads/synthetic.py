@@ -19,7 +19,9 @@ optionally serialised by pointer-chasing loads.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..trace.uop import MicroOp, OpClass
@@ -87,6 +89,13 @@ class SyntheticTraceGenerator:
         self._cold_ptr = _COLD_BASE
         self._loop_counters: Dict[int, int] = {}
         self._mix_classes, self._mix_weights = self._build_mix(profile)
+        # precomputed cumulative weights so _body_op can draw the op
+        # class with one rng.random() + bisect instead of rng.choices()
+        # (which rebuilds the cumulative table on every call); the draw
+        # consumes the RNG stream exactly as rng.choices() would
+        self._mix_cum = list(accumulate(self._mix_weights))
+        self._mix_total = self._mix_cum[-1] + 0.0
+        self._mix_hi = len(self._mix_cum) - 1
         self._blocks = self._build_cfg(profile)
 
     # -- static structure ----------------------------------------------------
@@ -191,7 +200,9 @@ class SyntheticTraceGenerator:
         return uop
 
     def _body_op(self, pc: int) -> MicroOp:
-        op_class = self._rng.choices(self._mix_classes, self._mix_weights)[0]
+        op_class = self._mix_classes[bisect_right(
+            self._mix_cum, self._rng.random() * self._mix_total,
+            0, self._mix_hi)]
         if op_class is OpClass.LOAD:
             return self._load(pc)
         if op_class is OpClass.STORE:

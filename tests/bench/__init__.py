@@ -1,0 +1,1 @@
+"""Perf-harness tests."""

@@ -171,3 +171,27 @@ def test_mode_cycle_accounting():
     policy = _fresh(history_depth=1)
     _drive_windows(policy, issued_per_cycle=8, windows=2)
     assert policy.mode_cycles[8] == 2 * policy.triggers.window_cycles
+
+
+def test_rebind_clears_pending_mode():
+    """Reusing one policy object across runs (run_many does this) must
+    start each run from pristine trigger state: a half-accumulated
+    downgrade vote from the previous run may not leak into the next."""
+    policy = _fresh(history_depth=3)
+    _drive_windows(policy, issued_per_cycle=0)   # one low window
+    policy.constraints(policy._test_cycle)       # boundary: arms the vote
+    assert policy._pending_mode == 4             # downgrade armed...
+    assert policy.mode == 8                      # ...but not yet applied
+    policy.bind(MachineConfig())                 # fresh run, same object
+    assert policy._pending_mode == 8
+    assert policy._down_votes == 0
+    assert policy.mode == 8
+    # the rebound policy must now behave exactly like a brand-new one
+    policy._test_cycle = 0
+    fresh = _fresh(history_depth=3)
+    for p in (policy, fresh):
+        _drive_windows(p, issued_per_cycle=0, windows=2)
+        p.constraints(p._test_cycle)
+    assert policy.mode == fresh.mode
+    assert policy._pending_mode == fresh._pending_mode
+    assert policy._down_votes == fresh._down_votes

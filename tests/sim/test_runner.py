@@ -170,3 +170,32 @@ def test_remote_executor_receives_only_the_misses():
     assert results[0] is warm                 # memory hit, not resent
     sent = [(s.benchmark, s.policy) for batch in calls for s in batch]
     assert sent == [("gzip", "base"), ("gzip", "dcg")]
+
+
+def test_remote_progress_reports_honest_batch_totals():
+    """A remote batch is one round-trip: every spec's report must carry
+    the whole batch's elapsed time and the batch size, never a
+    fabricated per-spec average."""
+
+    class FakeRemote:
+        def run_specs(self, specs):
+            local = ExperimentRunner(instructions=700)
+            return [local.run(s.benchmark, s.policy, s.tag) for s in specs]
+
+    reports = []
+    runner = ExperimentRunner(instructions=700, remote=FakeRemote(),
+                              progress=reports.append)
+    runner.run_many([("gzip", "base"), ("gzip", "dcg"), ("applu", "base")])
+    remote = [r for r in reports if r.source == "remote"]
+    assert len(remote) == 3
+    # all three specs share the same measured round-trip...
+    assert len({r.seconds for r in remote}) == 1
+    # ...and declare how many specs that measurement covers
+    assert all(r.batch_size == 3 for r in remote)
+
+
+def test_local_reports_default_to_batch_size_one():
+    reports = []
+    runner = ExperimentRunner(instructions=700, progress=reports.append)
+    runner.run("gzip", "base")
+    assert reports and all(r.batch_size == 1 for r in reports)
