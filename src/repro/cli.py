@@ -10,6 +10,11 @@ Subcommands
 ``bench``    list the available benchmark profiles
 ``serve``    run the simulation service (job queue + HTTP API)
 ``submit``   submit one run to a running service
+``events``   tail or summarize a run journal (``REPRO_LOG_DIR``)
+
+Every command except ``events`` runs inside a root ``cli.<command>``
+span, so setting ``REPRO_LOG_DIR`` makes one invocation produce one
+correlated trace across the CLI, the service, and worker subprocesses.
 """
 
 from __future__ import annotations
@@ -169,6 +174,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="block for the result and print a summary")
     submit.add_argument("--timeout", type=float, default=300.0, metavar="S",
                         help="how long --wait waits before giving up")
+
+    events = sub.add_parser(
+        "events", help="inspect a run journal (events.jsonl)")
+    events.add_argument("action", choices=("tail", "summarize"),
+                        help="tail: last N events; summarize: aggregate "
+                             "the whole journal")
+    events.add_argument("journal", nargs="?", default=None,
+                        help="journal path (default: "
+                             "$REPRO_LOG_DIR/events.jsonl)")
+    events.add_argument("-n", "--lines", type=_positive_int, default=20,
+                        help="events shown by tail (default 20)")
     return parser
 
 
@@ -376,8 +392,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service.client import (BackpressureError, ServiceClient,
-                                 ServiceError)
+    from .service.client import (BackpressureError, JobFailed,
+                                 ServiceClient, ServiceError)
     client = ServiceClient(args.server)
     fields = {"benchmark": args.benchmark, "policy": args.policy,
               "tag": args.tag}
@@ -397,6 +413,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0
     try:
         result = client.result(job["id"], timeout=args.timeout)
+    except JobFailed as exc:
+        # surface the worker-side traceback the failure payload carries
+        trace = exc.payload.get("job", {}).get("traceback")
+        if trace:
+            print(trace.rstrip("\n"), file=sys.stderr)
+        raise SystemExit(f"job {job['id']} failed: {exc}")
     except ServiceError as exc:
         raise SystemExit(f"job {job['id']}: {exc}")
     print(f"{result.benchmark} under {result.policy}: "
@@ -404,6 +426,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"power: {result.average_power:.2f} W of "
           f"{result.base_power:.2f} W base "
           f"({result.total_saving:.1%} saved)")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from .obs import (format_event_line, format_summary,
+                      journal_path_from_env, summarize_journal, tail_events)
+    journal = args.journal or journal_path_from_env()
+    if journal is None:
+        raise SystemExit("no journal given and REPRO_LOG_DIR is not set")
+    if not os.path.exists(journal):
+        raise SystemExit(f"no journal at {journal}")
+    if args.action == "tail":
+        for event in tail_events(journal, args.lines):
+            print(format_event_line(event))
+        return 0
+    print(format_summary(summarize_journal(journal)))
     return 0
 
 
@@ -417,12 +455,18 @@ _COMMANDS = {
     "bench-perf": _cmd_bench_perf,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "events": _cmd_events,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if args.command == "events":
+        # reading a journal must not append to it
+        return _COMMANDS[args.command](args)
+    from .obs import span
+    with span(f"cli.{args.command}"):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -1,0 +1,183 @@
+"""Turn a run journal into human-readable summaries.
+
+Backs the ``repro events tail`` and ``repro events summarize`` CLI
+subcommands: ``tail`` pretty-prints the last N events one per line;
+``summarize`` aggregates a whole journal into per-spec wall-clock,
+cache hit/miss counts, job lifecycle totals, and failure details —
+the numbers an operator would otherwise scrape from ``/metrics``,
+reconstructed offline from the journal alone.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional
+
+from .events import read_events
+
+__all__ = ["format_event_line", "format_summary", "summarize_events",
+           "summarize_journal", "tail_events"]
+
+#: event keys rendered by the journal itself, not per-kind payload
+_CORE_KEYS = ("v", "ts", "kind", "pid", "trace_id", "span_id")
+
+
+def _spec_label(event: Dict[str, Any]) -> str:
+    label = f"{event.get('benchmark', '?')}/{event.get('policy', '?')}"
+    tag = event.get("tag")
+    if tag and tag != "baseline":
+        label += f"@{tag}"
+    return label
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate parsed events into a summary dict.
+
+    Keys: ``events`` (total), ``kinds`` (per-kind counts), ``traces``
+    (distinct trace IDs), ``first_ts``/``last_ts``, ``sims`` (per-spec
+    ``{count, seconds}`` from ``sim.finish``), ``cache`` (hit/miss
+    totals and per-layer hits), ``jobs`` (lifecycle counters), and
+    ``failures`` (one record per ``job.fail``/``sim.error``).
+    """
+    kinds: Counter = Counter()
+    traces = set()
+    sims: Dict[str, Dict[str, float]] = {}
+    cache = {"hits": 0, "misses": 0, "hits_memory": 0, "hits_disk": 0}
+    jobs = {"enqueued": 0, "deduped": 0, "dequeued": 0, "completed": 0,
+            "failed": 0, "retried": 0, "timed_out": 0, "requeued": 0,
+            "crashes": 0}
+    failures: List[Dict[str, Any]] = []
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    total = 0
+    for event in events:
+        total += 1
+        kind = event["kind"]
+        kinds[kind] += 1
+        trace_id = event.get("trace_id")
+        if trace_id:
+            traces.add(trace_id)
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        if kind == "sim.finish":
+            entry = sims.setdefault(_spec_label(event),
+                                    {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += float(event.get("seconds", 0.0))
+        elif kind == "cache.hit":
+            cache["hits"] += 1
+            layer = event.get("layer")
+            if layer in ("memory", "disk"):
+                cache[f"hits_{layer}"] += 1
+        elif kind == "cache.miss":
+            cache["misses"] += 1
+        elif kind == "job.enqueue":
+            jobs["deduped" if event.get("deduped") else "enqueued"] += 1
+        elif kind == "job.dequeue":
+            jobs["dequeued"] += 1
+        elif kind == "job.complete":
+            jobs["completed"] += 1
+        elif kind == "job.fail":
+            jobs["failed"] += 1
+            failures.append({
+                "job_id": event.get("job_id"),
+                "spec": _spec_label(event),
+                "error": event.get("error"),
+                "trace_id": trace_id,
+            })
+        elif kind == "sim.error":
+            failures.append({
+                "job_id": event.get("job_id"),
+                "spec": _spec_label(event),
+                "error": event.get("error"),
+                "trace_id": trace_id,
+            })
+        elif kind == "job.retry":
+            jobs["retried"] += 1
+        elif kind == "job.timeout":
+            jobs["timed_out"] += 1
+        elif kind == "job.requeue":
+            jobs["requeued"] += 1
+        elif kind == "worker.crash":
+            jobs["crashes"] += 1
+    return {
+        "events": total,
+        "kinds": dict(sorted(kinds.items())),
+        "traces": sorted(traces),
+        "first_ts": first_ts,
+        "last_ts": last_ts,
+        "sims": sims,
+        "cache": cache,
+        "jobs": jobs,
+        "failures": failures,
+    }
+
+
+def summarize_journal(path: str) -> Dict[str, Any]:
+    """:func:`summarize_events` over a journal file."""
+    return summarize_events(read_events(path))
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    """Render a :func:`summarize_events` dict as a terminal report."""
+    lines: List[str] = []
+    span = ""
+    if summary["first_ts"] is not None:
+        span = f" over {summary['last_ts'] - summary['first_ts']:.2f}s"
+    lines.append(f"{summary['events']} events, "
+                 f"{len(summary['traces'])} trace(s){span}")
+    if summary["sims"]:
+        total_runs = sum(e["count"] for e in summary["sims"].values())
+        total_secs = sum(e["seconds"] for e in summary["sims"].values())
+        lines.append(f"simulations: {total_runs} run(s), "
+                     f"{total_secs:.2f}s simulated wall-clock")
+        for label, entry in sorted(summary["sims"].items()):
+            lines.append(f"  {label:32s} {entry['count']:4d} run(s) "
+                         f"{entry['seconds']:8.2f}s")
+    cache = summary["cache"]
+    if cache["hits"] or cache["misses"]:
+        lines.append(f"cache: {cache['hits']} hit(s) "
+                     f"({cache['hits_memory']} memory, "
+                     f"{cache['hits_disk']} disk), "
+                     f"{cache['misses']} miss(es)")
+    jobs = summary["jobs"]
+    if any(jobs.values()):
+        lines.append(
+            f"jobs: {jobs['enqueued']} enqueued "
+            f"(+{jobs['deduped']} deduped), {jobs['dequeued']} dequeued, "
+            f"{jobs['completed']} completed, {jobs['failed']} failed")
+        if (jobs["retried"] or jobs["timed_out"] or jobs["requeued"]
+                or jobs["crashes"]):
+            lines.append(
+                f"      {jobs['retried']} retried, "
+                f"{jobs['timed_out']} timed out, "
+                f"{jobs['requeued']} requeued, "
+                f"{jobs['crashes']} worker crash(es)")
+    for failure in summary["failures"]:
+        lines.append(f"FAILED {failure['spec']} "
+                     f"(job {failure['job_id'] or '?'}): "
+                     f"{failure['error'] or 'unknown error'}")
+    return "\n".join(lines)
+
+
+def format_event_line(event: Dict[str, Any]) -> str:
+    """One journal event as a compact, aligned terminal line."""
+    ts = event.get("ts")
+    stamp = (time.strftime("%H:%M:%S", time.localtime(ts))
+             + f".{int((ts % 1) * 1000):03d}"
+             if isinstance(ts, (int, float)) else "--:--:--.---")
+    trace = (event.get("trace_id") or "")[:8] or "-"
+    payload = " ".join(
+        f"{key}={event[key]}" for key in event
+        if key not in _CORE_KEYS and not isinstance(event[key], dict))
+    return f"{stamp} {event['kind']:14s} trace={trace:8s} {payload}".rstrip()
+
+
+def tail_events(path: str, count: int = 20) -> List[Dict[str, Any]]:
+    """The last ``count`` events of a journal (whole-file read; journals
+    are line-oriented and modest in size)."""
+    events = list(read_events(path))
+    return events[-count:] if count > 0 else events

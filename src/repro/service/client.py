@@ -23,6 +23,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.tracing import span, trace_headers
 from ..sim.cache import result_from_dict
 from ..sim.parallel import RunSpec
 from ..sim.simulator import SimulationResult
@@ -91,9 +92,12 @@ class ServiceClient:
                  timeout: Optional[float] = None) -> Dict[str, Any]:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
+        # the active trace context (if any) rides along as headers, so
+        # server-side spans and job events join the caller's trace
+        headers = {"Content-Type": "application/json", **trace_headers()}
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"})
+            headers=headers)
         delay = self.backoff
         for attempt in range(self.retries + 1):
             try:
@@ -188,22 +192,25 @@ class ServiceClient:
             "tag": spec.tag, "instructions": spec.instructions,
             "seed": spec.seed, "priority": priority,
         } for spec in specs]
-        job_ids: List[str] = []
-        delay = max(self.backoff, 0.05)
-        while fields:
-            try:
-                jobs = self.submit(fields)
-            except BackpressureError as exc:
-                accepted = exc.payload.get("jobs", [])
-                job_ids.extend(job["id"] for job in accepted)
-                fields = fields[len(accepted):]
-                if time.monotonic() + delay > deadline:
-                    raise
-                time.sleep(delay)
-                delay = min(delay * 2, 5.0)
-                continue
-            job_ids.extend(job["id"] for job in jobs)
-            break
-        return [self.result(job_id,
-                            timeout=max(1.0, deadline - time.monotonic()))
-                for job_id in job_ids]
+        with span("client.run_specs", specs=len(fields),
+                  server=self.base_url):
+            job_ids: List[str] = []
+            delay = max(self.backoff, 0.05)
+            while fields:
+                try:
+                    jobs = self.submit(fields)
+                except BackpressureError as exc:
+                    accepted = exc.payload.get("jobs", [])
+                    job_ids.extend(job["id"] for job in accepted)
+                    fields = fields[len(accepted):]
+                    if time.monotonic() + delay > deadline:
+                        raise
+                    time.sleep(delay)
+                    delay = min(delay * 2, 5.0)
+                    continue
+                job_ids.extend(job["id"] for job in jobs)
+                break
+            return [self.result(
+                        job_id,
+                        timeout=max(1.0, deadline - time.monotonic()))
+                    for job_id in job_ids]

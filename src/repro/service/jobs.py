@@ -29,6 +29,9 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.events import get_journal
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import current_context, new_trace_id
 from ..power.budget import PowerCalibration
 from ..sim.cache import fingerprint
 from ..sim.configs import config_from_tag
@@ -109,12 +112,15 @@ class Job:
     state: JobState = JobState.QUEUED
     result: Optional[SimulationResult] = None
     error: Optional[str] = None
+    error_traceback: Optional[str] = None    #: worker-side traceback text
     source: Optional[str] = None             #: "run" | "memory" | "disk"
     attempts: int = 0                        #: compute attempts (retries)
     requeues: int = 0                        #: shutdown re-queues
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    trace_id: Optional[str] = None           #: submitter's trace
+    parent_span_id: Optional[str] = None     #: submitter's active span
     _seq: int = 0                            #: FIFO position within priority
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
@@ -147,9 +153,20 @@ class Job:
             "priority": self.priority,
             "source": self.source,
             "error": self.error,
+            "traceback": self.error_traceback,
             "attempts": self.attempts,
             "requeues": self.requeues,
             "seconds": self.seconds,
+            "trace_id": self.trace_id,
+        }
+
+    def event_fields(self) -> Dict[str, Any]:
+        """Identity fields shared by every journal event about this job."""
+        return {
+            "job_id": self.id,
+            "benchmark": self.spec.benchmark,
+            "policy": self.spec.policy,
+            "tag": self.spec.tag,
         }
 
 
@@ -163,27 +180,97 @@ class JobQueue:
         raises :class:`QueueFull` beyond it.
     calibration:
         Power calibration folded into each spec's dedup fingerprint.
+    registry:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry` holding the
+        queue's counters (a private one is created when omitted).
     """
 
     def __init__(self, maxsize: int = 64,
-                 calibration: Optional[PowerCalibration] = None) -> None:
+                 calibration: Optional[PowerCalibration] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self.calibration = calibration or PowerCalibration()
+        self.registry = registry or MetricsRegistry()
         self._cond = threading.Condition()
         self._heap: List[Tuple[int, int, Job]] = []
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}      # fingerprint -> live job
         self._seq = itertools.count()
         self._closed = False
-        # counters for /metrics
-        self.submitted = 0
-        self.deduped = 0
-        self.rejected = 0
-        self.done = 0
-        self.failed = 0
-        self.requeued = 0
+        # monotonic since the queue last hit its depth bound; None while
+        # below it — /healthz turns a sustained value into "degraded"
+        self._saturated_since: Optional[float] = None
+        # lifecycle counters, registry-backed so /metrics?format=prom
+        # and the JSON view read the same instruments
+        counter = self.registry.counter
+        self._submitted = counter("repro_jobs_submitted_total",
+                                  "jobs accepted as new work")
+        self._deduped = counter("repro_jobs_deduped_total",
+                                "submissions answered by an in-flight job")
+        self._rejected = counter("repro_jobs_rejected_total",
+                                 "submissions refused by backpressure")
+        self._done = counter("repro_jobs_done_total",
+                             "jobs completed successfully")
+        self._failed = counter("repro_jobs_failed_total",
+                               "jobs that ended in failure")
+        self._requeued = counter("repro_jobs_requeued_total",
+                                 "running jobs re-queued by a shutdown")
+        self.registry.gauge("repro_queue_depth",
+                            "jobs waiting to run", fn=lambda: self.depth)
+        self.registry.gauge("repro_queue_saturated_seconds",
+                            "seconds the queue has been at its bound",
+                            fn=lambda: self.saturated_seconds)
+
+    # -- counters (registry-backed, attribute API preserved) --------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def deduped(self) -> int:
+        return int(self._deduped.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def done(self) -> int:
+        return int(self._done.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def requeued(self) -> int:
+        return int(self._requeued.value)
+
+    # -- saturation tracking ----------------------------------------------
+
+    def _queued_count(self) -> int:
+        """Jobs waiting to run; caller holds the lock."""
+        return sum(1 for _p, _s, job in self._heap
+                   if job.state is JobState.QUEUED)
+
+    def _note_depth(self, queued: int) -> None:
+        """Track sustained saturation; caller holds the lock."""
+        if queued >= self.maxsize:
+            if self._saturated_since is None:
+                self._saturated_since = time.monotonic()
+        else:
+            self._saturated_since = None
+
+    @property
+    def saturated_seconds(self) -> float:
+        """How long the queue has been pinned at its depth bound."""
+        with self._cond:
+            if self._saturated_since is None:
+                return 0.0
+            return time.monotonic() - self._saturated_since
 
     # -- submission side --------------------------------------------------
 
@@ -195,32 +282,49 @@ class JobQueue:
         or running — the caller shares that job.  Dedup wins over
         backpressure: a duplicate of an in-flight spec is accepted even
         when the queue is full, because it adds no work.
+
+        The submitter's active trace context (CLI span or propagated
+        HTTP headers) is recorded on the job so worker-side events join
+        the same trace; without one, the job starts its own trace.
         """
         if key is None:
             key = spec_fingerprint(spec, self.calibration)
+        journal = get_journal()
         with self._cond:
             live = self._inflight.get(key)
             if live is not None and not live.finished:
-                self.deduped += 1
+                self._deduped.inc()
+                journal.emit("job.enqueue", trace_id=live.trace_id,
+                             deduped=True, **live.event_fields())
                 return live, False
             if self._closed:
                 raise QueueFull("queue is shut down")
-            queued = sum(1 for _p, _s, job in self._heap
-                         if job.state is JobState.QUEUED)
+            queued = self._queued_count()
             if queued >= self.maxsize:
-                self.rejected += 1
+                self._rejected.inc()
+                self._note_depth(queued)
                 raise QueueFull(
                     f"queue depth limit reached ({self.maxsize} jobs "
                     "waiting); retry after some complete")
+            context = current_context()
             job = Job(id=uuid.uuid4().hex[:12], spec=spec, key=key,
                       priority=priority, submitted_at=time.time(),
+                      trace_id=(context.trace_id if context
+                                else new_trace_id()),
+                      parent_span_id=(context.span_id if context
+                                      else None),
                       _seq=next(self._seq))
             self._jobs[job.id] = job
             self._inflight[key] = job
             self._push(job)
-            self.submitted += 1
+            self._submitted.inc()
+            self._note_depth(queued + 1)
             self._cond.notify()
-            return job, True
+        journal.emit("job.enqueue", trace_id=job.trace_id,
+                     deduped=False, priority=priority,
+                     instructions=spec.instructions,
+                     **job.event_fields())
+        return job, True
 
     def _push(self, job: Job) -> None:
         # negative priority: larger ``priority`` pops first; ``_seq``
@@ -245,6 +349,10 @@ class JobQueue:
                         continue             # stale entry (re-queued twice)
                     job.state = JobState.RUNNING
                     job.started_at = time.time()
+                    self._note_depth(self._queued_count())
+                    get_journal().emit("job.dequeue",
+                                       trace_id=job.trace_id,
+                                       **job.event_fields())
                     return job
                 if self._closed:
                     return None
@@ -265,18 +373,31 @@ class JobQueue:
             job.state = JobState.DONE
             job.finished_at = time.time()
             self._inflight.pop(job.key, None)
-            self.done += 1
+            self._done.inc()
         job._done.set()
+        get_journal().emit("job.complete", trace_id=job.trace_id,
+                           source=source, seconds=job.seconds,
+                           **job.event_fields())
 
-    def fail(self, job: Job, error: str) -> None:
-        """Mark ``job`` failed; the error travels to every waiter."""
+    def fail(self, job: Job, error: str,
+             traceback: Optional[str] = None) -> None:
+        """Mark ``job`` failed; the error travels to every waiter.
+
+        ``traceback`` is the worker-side traceback text (when one was
+        captured); it rides on the job record and the journal event so
+        a ``repro submit --wait`` failure is diagnosable client-side.
+        """
         with self._cond:
             job.error = error
+            job.error_traceback = traceback
             job.state = JobState.FAILED
             job.finished_at = time.time()
             self._inflight.pop(job.key, None)
-            self.failed += 1
+            self._failed.inc()
         job._done.set()
+        get_journal().emit("job.fail", trace_id=job.trace_id,
+                           error=error, traceback=traceback,
+                           seconds=job.seconds, **job.event_fields())
 
     def requeue(self, job: Job) -> None:
         """Put a running job back (shutdown path); keeps FIFO position.
@@ -289,8 +410,10 @@ class JobQueue:
             job.started_at = None
             job.requeues += 1
             self._push(job)
-            self.requeued += 1
+            self._requeued.inc()
             self._cond.notify()
+        get_journal().emit("job.requeue", trace_id=job.trace_id,
+                           requeues=job.requeues, **job.event_fields())
 
     # -- introspection ----------------------------------------------------
 

@@ -10,9 +10,13 @@ disk-backed :class:`~repro.sim.runner.ExperimentRunner`;
                           400 on an invalid spec
 ``GET /v1/runs/<id>``     job status
 ``GET /v1/runs/<id>/result``  block (``?timeout=`` seconds) for the result
-``GET /healthz``          liveness + queue/worker summary
+``GET /healthz``          liveness + queue/worker summary; 503 once the
+                          service is degraded (dead workers, sustained
+                          queue saturation)
 ``GET /metrics``          queue depth, done/failed counts, cache hit
-                          ratio, p50/p95 job wall-clock
+                          ratio, p50/p95 job wall-clock;
+                          ``?format=prom`` renders the same registry as
+                          Prometheus text exposition
 ========================  ==================================================
 
 Everything is standard library (``http.server``); the threading server
@@ -30,6 +34,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import activate, context_from_headers, span
 from ..power.budget import PowerCalibration
 from ..sim.cache import ResultCache, result_to_dict
 from ..sim.runner import ExperimentRunner
@@ -51,6 +57,13 @@ class SimulationService:
     ``queue_depth`` backpressure bound, an optional per-job ``timeout``
     (enables subprocess isolation + crash retry), and the usual
     instruction budget / calibration / disk-cache knobs.
+    ``degraded_after`` is how many seconds the queue may sit pinned at
+    its depth bound before ``/healthz`` reports degraded.
+
+    One :class:`~repro.obs.metrics.MetricsRegistry` is shared by the
+    queue, the pool, and the service's own gauges; ``/metrics`` renders
+    it as the original JSON dict and ``/metrics?format=prom`` as
+    Prometheus text.
     """
 
     def __init__(self, instructions: Optional[int] = None,
@@ -58,14 +71,28 @@ class SimulationService:
                  cache: Optional[ResultCache] = None,
                  workers: int = 2, queue_depth: int = 64,
                  timeout: Optional[float] = None,
-                 compute=None) -> None:
+                 compute=None,
+                 degraded_after: float = 30.0) -> None:
+        self.registry = MetricsRegistry()
         self.runner = ExperimentRunner(instructions=instructions,
                                        calibration=calibration, cache=cache)
         self.queue = JobQueue(maxsize=queue_depth,
-                              calibration=self.runner.calibration)
+                              calibration=self.runner.calibration,
+                              registry=self.registry)
         self.pool = WorkerPool(self.queue, self.runner, workers=workers,
-                               timeout=timeout, compute=compute)
+                               timeout=timeout, compute=compute,
+                               registry=self.registry)
+        self.degraded_after = degraded_after
         self.started_at = time.time()
+        self.registry.gauge("repro_service_uptime_seconds",
+                            "seconds since the service started",
+                            fn=lambda: time.time() - self.started_at)
+        self.registry.gauge("repro_service_workers",
+                            "configured worker threads",
+                            fn=lambda: self.pool.workers)
+        self.registry.gauge("repro_jobs_running",
+                            "jobs currently being computed",
+                            fn=lambda: self.queue.running)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -110,13 +137,37 @@ class SimulationService:
         data.update(self.pool.metrics())
         return data
 
+    def prom_metrics(self) -> str:
+        """Prometheus text exposition of the shared registry."""
+        return self.registry.render_prom()
+
     def health(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
+        """Liveness summary; ``status`` is ``"ok"`` or ``"degraded"``.
+
+        Degraded (the handler turns it into a 503) when every worker
+        thread has died under a started pool, or when the queue has
+        been pinned at its depth bound for more than
+        ``degraded_after`` seconds — both mean accepted work is no
+        longer draining.
+        """
+        reasons: List[str] = []
+        if self.pool.started and self.pool.alive_workers == 0:
+            reasons.append("all worker threads are dead")
+        saturated = self.queue.saturated_seconds
+        if saturated > self.degraded_after:
+            reasons.append(
+                f"queue saturated for {saturated:.0f}s "
+                f"(bound {self.degraded_after:g}s)")
+        payload: Dict[str, Any] = {
+            "status": "degraded" if reasons else "ok",
             "workers": self.pool.workers,
+            "alive_workers": self.pool.alive_workers,
             "queue_depth": self.queue.depth,
             "uptime_seconds": time.time() - self.started_at,
         }
+        if reasons:
+            payload["reasons"] = reasons
+        return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -138,6 +189,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _read_json(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -165,8 +225,13 @@ class _Handler(BaseHTTPRequestHandler):
             data["runs"] if "runs" in data else [data])
         jobs: List[Tuple[Job, bool]] = []
         try:
-            for fields in requests:
-                jobs.append(service.submit(fields))
+            # the client's trace context (X-Repro-Trace-Id headers)
+            # becomes the active context, so the accepted jobs — and
+            # every worker-side event about them — join its trace
+            with activate(context_from_headers(self.headers)):
+                with span("http.submit", runs=len(requests)):
+                    for fields in requests:
+                        jobs.append(service.submit(fields))
         except ValueError as exc:
             self._send(400, {"error": str(exc)})
             return
@@ -191,10 +256,15 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         service = self.server.service
         if parsed.path == "/healthz":
-            self._send(200, service.health())
+            health = service.health()
+            self._send(200 if health["status"] == "ok" else 503, health)
             return
         if parsed.path == "/metrics":
-            self._send(200, service.metrics())
+            query = parse_qs(parsed.query)
+            if query.get("format", [""])[0] == "prom":
+                self._send_text(200, service.prom_metrics())
+            else:
+                self._send(200, service.metrics())
             return
         match = _RUN_PATH.match(parsed.path)
         if match is None:

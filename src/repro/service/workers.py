@@ -11,15 +11,26 @@ the paper-grid runner never needed: a wall-clock limit per job, and one
 automatic retry when the child dies without producing a result.  A
 stopping pool re-queues whatever it was computing, so an accepted job
 survives Ctrl-C as either a result or a queued entry — never a loss.
+
+Observability: each job runs inside a ``job.run`` span on the
+*submitter's* trace (the job record carries the trace/span IDs across
+the queue), the child process inherits that context over the fork, and
+every counter/latency figure lives in the shared
+:class:`~repro.obs.metrics.MetricsRegistry` — the durations deque this
+module once grew without bound is now a bounded-reservoir histogram.
 """
 
 from __future__ import annotations
 
-import collections
 import threading
 import time
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+import traceback
+from typing import Callable, Dict, List, Optional
 
+from ..obs.events import get_journal
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import (SpanContext, activate, current_context,
+                           new_span_id, new_trace_id, span)
 from ..sim.cache import result_from_dict, result_to_dict
 from ..sim.parallel import RunSpec, simulate_spec
 from ..sim.runner import ExperimentRunner
@@ -31,7 +42,14 @@ __all__ = ["JobTimeout", "ShutdownRequested", "WorkerCrash", "WorkerPool",
 
 
 class WorkerCrash(RuntimeError):
-    """The compute step died without producing a result (retried once)."""
+    """The compute step died without producing a result (retried once).
+
+    When the child process surfaced a real exception before dying, the
+    formatted traceback rides along as ``crash.child_traceback`` so the
+    eventual job failure is diagnosable, not just "exited with code 1".
+    """
+
+    child_traceback: Optional[str] = None
 
 
 class JobTimeout(RuntimeError):
@@ -54,27 +72,46 @@ def percentile(values: List[float], q: float) -> float:
 
 # -- subprocess compute (timeout + crash isolation) -------------------------
 
-def _child_entry(conn, spec: RunSpec, calibration) -> None:
-    result = simulate_spec(spec, calibration)
-    conn.send(result_to_dict(result))
+def _child_entry(conn, spec: RunSpec, calibration,
+                 context: Optional[SpanContext] = None) -> None:
+    """Child-side entry: one sim, one ``{"ok"|"error": ...}`` message.
+
+    Exceptions are caught and shipped back with their traceback instead
+    of killing the child silently — the difference between a job that
+    fails with ``ValueError: bad seed`` plus a stack and one that fails
+    with ``exited with code 1``.
+    """
+    try:
+        with activate(context):
+            result = simulate_spec(spec, calibration)
+        payload = {"ok": result_to_dict(result)}
+    except BaseException as exc:     # noqa: BLE001 - process boundary
+        payload = {"error": f"{type(exc).__name__}: {exc}",
+                   "traceback": traceback.format_exc()}
+    conn.send(payload)
     conn.close()
 
 
 def compute_in_subprocess(spec: RunSpec, calibration,
                           timeout: float,
-                          stop: Optional[threading.Event] = None
+                          stop: Optional[threading.Event] = None,
+                          context: Optional[SpanContext] = None
                           ) -> SimulationResult:
     """Run one spec in a forked child with a wall-clock limit.
 
     Raises :class:`JobTimeout` past ``timeout`` seconds,
-    :class:`WorkerCrash` if the child exits without a result, and
-    :class:`ShutdownRequested` when ``stop`` is set mid-run (the child
-    is terminated; the caller re-queues the job).
+    :class:`WorkerCrash` if the child exits without a result *or*
+    reports an exception (the worker-side message and traceback are
+    attached), and :class:`ShutdownRequested` when ``stop`` is set
+    mid-run (the child is terminated; the caller re-queues the job).
+    ``context`` is the trace context the child's journal events should
+    join.
     """
     import multiprocessing
     receiver, sender = multiprocessing.Pipe(duplex=False)
     child = multiprocessing.Process(
-        target=_child_entry, args=(sender, spec, calibration), daemon=True)
+        target=_child_entry, args=(sender, spec, calibration, context),
+        daemon=True)
     child.start()
     sender.close()
     deadline = time.monotonic() + timeout
@@ -88,7 +125,11 @@ def compute_in_subprocess(spec: RunSpec, calibration,
                         f"worker exited with code {child.exitcode} "
                         "before returning a result")
                 child.join()
-                return result_from_dict(data)
+                if "error" in data:
+                    crash = WorkerCrash(data["error"])
+                    crash.child_traceback = data.get("traceback")
+                    raise crash
+                return result_from_dict(data["ok"])
             if stop is not None and stop.is_set():
                 child.terminate()
                 raise ShutdownRequested("pool stopping")
@@ -131,12 +172,17 @@ class WorkerPool:
         (tests inject crashes/blocks here).  May raise
         :class:`WorkerCrash` (retried once), :class:`JobTimeout`
         (failed), or :class:`ShutdownRequested` (re-queued).
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` for the pool's
+        instruments; defaults to the queue's registry so the service
+        scrapes one coherent set.
     """
 
     def __init__(self, queue: JobQueue, runner: ExperimentRunner,
                  workers: int = 2, timeout: Optional[float] = None,
                  compute: Optional[Callable[[RunSpec], SimulationResult]]
-                 = None) -> None:
+                 = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.queue = queue
@@ -147,16 +193,68 @@ class WorkerPool:
         self._runner_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
-        self.durations: Deque[float] = collections.deque(maxlen=1024)
-        self.simulated = 0
-        self.retries = 0
-        self.timeouts = 0
-        self.hits: Dict[str, int] = {"memory": 0, "disk": 0}
-        # per-run timing aggregates (actual simulations only, cache hits
-        # excluded) — the service's /metrics perf trajectory
-        self.sim_seconds_total = 0.0
-        self.sim_instructions_total = 0
-        self.sim_cycles_total = 0
+        self.registry = registry if registry is not None else queue.registry
+        self._sims = self.registry.counter(
+            "repro_sims_total", "simulations actually executed")
+        self._cache_hits = self.registry.counter(
+            "repro_cache_hits_total", "jobs answered from a cache layer",
+            labelnames=("layer",))
+        self._retries = self.registry.counter(
+            "repro_worker_retries_total", "compute retries after a crash")
+        self._timeouts = self.registry.counter(
+            "repro_worker_timeouts_total", "jobs killed by the per-job "
+            "timeout")
+        self._crashes = self.registry.counter(
+            "repro_worker_crashes_total", "compute crashes observed "
+            "(each triggers at most one retry)")
+        # bounded reservoir replaces the old grow-forever deque; p50/p95
+        # stay available at O(1) memory over the server's whole lifetime
+        self._job_seconds = self.registry.histogram(
+            "repro_job_seconds", "wall-clock of actual simulations",
+            quantiles=(0.5, 0.95))
+        # per-run throughput aggregates (actual simulations only, cache
+        # hits excluded) — the service's /metrics perf trajectory
+        self._sim_seconds = self.registry.counter(
+            "repro_sim_seconds_total", "seconds spent simulating")
+        self._sim_instructions = self.registry.counter(
+            "repro_sim_instructions_total", "instructions simulated")
+        self._sim_cycles = self.registry.counter(
+            "repro_sim_cycles_total", "cycles simulated")
+        self.registry.gauge("repro_workers_alive",
+                            "live worker threads",
+                            fn=lambda: self.alive_workers)
+
+    # -- counters (registry-backed, attribute API preserved) --------------
+
+    @property
+    def simulated(self) -> int:
+        return int(self._sims.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value)
+
+    @property
+    def hits(self) -> Dict[str, int]:
+        """Cache-hit counts by layer (a snapshot view, not live state)."""
+        return {"memory": int(self._cache_hits.child_value(layer="memory")),
+                "disk": int(self._cache_hits.child_value(layer="disk"))}
+
+    @property
+    def sim_seconds_total(self) -> float:
+        return self._sim_seconds.value
+
+    @property
+    def sim_instructions_total(self) -> int:
+        return int(self._sim_instructions.value)
+
+    @property
+    def sim_cycles_total(self) -> int:
+        return int(self._sim_cycles.value)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -183,6 +281,16 @@ class WorkerPool:
     def stopping(self) -> bool:
         return self._stop.is_set()
 
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run (and :meth:`stop` has not)."""
+        return bool(self._threads)
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads that are actually still running."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
     # -- the worker loop --------------------------------------------------
 
     def _run(self) -> None:
@@ -195,13 +303,24 @@ class WorkerPool:
                 break
             self._process(job)
 
+    def _job_context(self, job: Job) -> SpanContext:
+        """The submitter-side context this job's work should nest under."""
+        return SpanContext(job.trace_id or new_trace_id(),
+                           job.parent_span_id or new_span_id())
+
     def _process(self, job: Job) -> None:
+        with activate(self._job_context(job)):
+            with span("job.run", job_id=job.id,
+                      benchmark=job.spec.benchmark, policy=job.spec.policy):
+                self._resolve(job)
+
+    def _resolve(self, job: Job) -> None:
         spec = job.spec
         with self._runner_lock:
             cached = self.runner.cached(spec.benchmark, spec.policy, spec.tag)
         if cached is not None:
             result, source = cached
-            self.hits[source] += 1
+            self._cache_hits.labels(layer=source).inc()
             self.queue.complete(job, result, source)
             return
         start = time.perf_counter()
@@ -211,20 +330,24 @@ class WorkerPool:
             self.queue.requeue(job)
             return
         except JobTimeout as exc:
-            self.timeouts += 1
+            self._timeouts.inc()
+            get_journal().emit("job.timeout", trace_id=job.trace_id,
+                               error=str(exc), **job.event_fields())
             self.queue.fail(job, str(exc))
             return
         except Exception as exc:             # noqa: BLE001 - job boundary
-            self.queue.fail(job, f"{type(exc).__name__}: {exc}")
+            tb = getattr(exc, "child_traceback", None)
+            self.queue.fail(job, f"{type(exc).__name__}: {exc}",
+                            traceback=tb or traceback.format_exc())
             return
         with self._runner_lock:
             self.runner.memoise_spec(spec, result)
         elapsed = time.perf_counter() - start
-        self.durations.append(elapsed)
-        self.simulated += 1
-        self.sim_seconds_total += elapsed
-        self.sim_instructions_total += result.instructions
-        self.sim_cycles_total += result.cycles
+        self._job_seconds.observe(elapsed)
+        self._sims.inc()
+        self._sim_seconds.inc(elapsed)
+        self._sim_instructions.inc(result.instructions)
+        self._sim_cycles.inc(result.cycles)
         self.queue.complete(job, result, "run")
 
     def _attempt(self, job: Job) -> SimulationResult:
@@ -234,39 +357,53 @@ class WorkerPool:
         except WorkerCrash as crash:
             if self._stop.is_set():
                 raise ShutdownRequested("pool stopping") from crash
-            self.retries += 1
+            self._crashes.inc()
+            get_journal().emit("worker.crash", trace_id=job.trace_id,
+                               error=str(crash),
+                               traceback=crash.child_traceback,
+                               **job.event_fields())
+            self._retries.inc()
             job.attempts += 1
+            get_journal().emit("job.retry", trace_id=job.trace_id,
+                               attempt=job.attempts, **job.event_fields())
             return self._compute(job.spec)   # one retry, then fail
 
     def _default_compute(self, spec: RunSpec) -> SimulationResult:
         if self.timeout is None:
             return simulate_spec(spec, self.runner.calibration)
         return compute_in_subprocess(spec, self.runner.calibration,
-                                     self.timeout, self._stop)
+                                     self.timeout, self._stop,
+                                     context=current_context())
 
     # -- metrics ----------------------------------------------------------
 
     def metrics(self) -> Dict[str, float]:
-        """Hit/latency numbers for ``/metrics``."""
-        samples = list(self.durations)
-        hits = self.hits["memory"] + self.hits["disk"]
-        served = hits + self.simulated
+        """Hit/latency numbers for the JSON ``/metrics`` view.
+
+        Key names are the service's original wire format; the values
+        now come from the shared registry instruments.
+        """
+        hits = self.hits
+        hit_count = hits["memory"] + hits["disk"]
+        simulated = self.simulated
+        served = hit_count + simulated
+        sim_seconds = self.sim_seconds_total
         return {
-            "simulated": self.simulated,
-            "cache_hits_memory": self.hits["memory"],
-            "cache_hits_disk": self.hits["disk"],
-            "cache_hit_ratio": (hits / served) if served else 0.0,
+            "simulated": simulated,
+            "cache_hits_memory": hits["memory"],
+            "cache_hits_disk": hits["disk"],
+            "cache_hit_ratio": (hit_count / served) if served else 0.0,
             "retries": self.retries,
             "timeouts": self.timeouts,
-            "p50_seconds": percentile(samples, 0.50),
-            "p95_seconds": percentile(samples, 0.95),
-            "sim_seconds_total": self.sim_seconds_total,
+            "p50_seconds": self._job_seconds.percentile(0.50),
+            "p95_seconds": self._job_seconds.percentile(0.95),
+            "sim_seconds_total": sim_seconds,
             "sim_instructions_total": self.sim_instructions_total,
             "sim_cycles_total": self.sim_cycles_total,
             "sim_instructions_per_second": (
-                self.sim_instructions_total / self.sim_seconds_total
-                if self.sim_seconds_total else 0.0),
+                self.sim_instructions_total / sim_seconds
+                if sim_seconds else 0.0),
             "sim_cycles_per_second": (
-                self.sim_cycles_total / self.sim_seconds_total
-                if self.sim_seconds_total else 0.0),
+                self.sim_cycles_total / sim_seconds
+                if sim_seconds else 0.0),
         }

@@ -19,6 +19,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..obs.events import get_journal
+from ..obs.sampling import PipelineSampler, sampling_enabled
+from ..obs.tracing import SpanContext, activate, current_context, span
 from ..power.budget import PowerCalibration
 from .configs import config_from_tag
 from .simulator import SimulationResult, Simulator
@@ -84,12 +87,15 @@ def default_jobs(default: int = 1) -> int:
 # -- worker side ------------------------------------------------------------
 
 _WORKER_CALIBRATION: Optional[PowerCalibration] = None
+_WORKER_CONTEXT: Optional[SpanContext] = None
 _WORKER_SIMULATORS = {}
 
 
-def _init_worker(calibration: PowerCalibration) -> None:
-    global _WORKER_CALIBRATION
+def _init_worker(calibration: PowerCalibration,
+                 context: Optional[SpanContext] = None) -> None:
+    global _WORKER_CALIBRATION, _WORKER_CONTEXT
     _WORKER_CALIBRATION = calibration
+    _WORKER_CONTEXT = context
     _WORKER_SIMULATORS.clear()
 
 
@@ -103,17 +109,55 @@ def _worker_simulator(tag: str) -> Simulator:
 def simulate_spec(spec: RunSpec,
                   calibration: Optional[PowerCalibration] = None,
                   simulator: Optional[Simulator] = None) -> SimulationResult:
-    """Run one grid cell from scratch (no caching)."""
+    """Run one grid cell from scratch (no caching).
+
+    The single sim-level observability chokepoint: with a journal
+    configured it runs inside a ``sim`` span and emits ``sim.start`` /
+    ``sim.finish`` (or ``sim.error``) events; with ``REPRO_SAMPLE`` set
+    it attaches a :class:`~repro.obs.sampling.PipelineSampler` and
+    emits its histograms as a ``sim.sample`` event.  With neither, the
+    original zero-instrumentation path runs.
+    """
     sim = simulator or Simulator(config_from_tag(spec.tag), calibration)
-    return sim.run_benchmark(spec.benchmark, spec.policy,
-                             instructions=spec.instructions, seed=spec.seed)
+    journal = get_journal()
+    sampling = sampling_enabled()
+    if not journal.enabled and not sampling:
+        return sim.run_benchmark(spec.benchmark, spec.policy,
+                                 instructions=spec.instructions,
+                                 seed=spec.seed)
+    ident = {"benchmark": spec.benchmark, "policy": spec.policy,
+             "tag": spec.tag}
+    with span("sim", **ident):
+        journal.emit("sim.start", instructions=spec.instructions,
+                     seed=spec.seed, **ident)
+        sampler = PipelineSampler() if sampling else None
+        start = time.perf_counter()
+        try:
+            result = sim.run_benchmark(
+                spec.benchmark, spec.policy,
+                instructions=spec.instructions, seed=spec.seed,
+                observers=[sampler.observe] if sampler else None)
+        except Exception as exc:
+            journal.emit("sim.error",
+                         seconds=time.perf_counter() - start,
+                         error=f"{type(exc).__name__}: {exc}", **ident)
+            raise
+        journal.emit("sim.finish", seconds=time.perf_counter() - start,
+                     cycles=result.cycles,
+                     instructions=result.instructions,
+                     ipc=round(result.ipc, 4),
+                     total_saving=round(result.total_saving, 6), **ident)
+        if sampler is not None:
+            journal.emit("sim.sample", **ident, **sampler.summary())
+    return result
 
 
 def _pool_entry(indexed: Tuple[int, RunSpec]
                 ) -> Tuple[int, SimulationResult, float]:
     index, spec = indexed
     start = time.perf_counter()
-    result = simulate_spec(spec, simulator=_worker_simulator(spec.tag))
+    with activate(_WORKER_CONTEXT):
+        result = simulate_spec(spec, simulator=_worker_simulator(spec.tag))
     return index, result, time.perf_counter() - start
 
 
@@ -157,7 +201,9 @@ def execute_specs(specs: Sequence[RunSpec],
         pool = multiprocessing.Pool(
             processes=min(jobs, len(specs)),
             initializer=_init_worker,
-            initargs=(calibration or PowerCalibration(),))
+            # the active span context rides along so worker-side journal
+            # events join the caller's trace
+            initargs=(calibration or PowerCalibration(), current_context()))
     except (ImportError, OSError, ValueError):
         return _execute_serial(specs, calibration, progress)
     results: List[Optional[SimulationResult]] = [None] * len(specs)

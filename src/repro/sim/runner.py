@@ -15,12 +15,14 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.interface import GatingPolicy
+from ..obs.events import get_journal
 from ..pipeline.config import MachineConfig
 from ..power.budget import PowerCalibration
 from ..workloads.profiles import get_profile
 from .cache import ResultCache, fingerprint
 from .configs import config_from_tag, default_instructions
-from .parallel import ProgressFn, RunReport, RunSpec, execute_specs
+from .parallel import (ProgressFn, RunReport, RunSpec, execute_specs,
+                       simulate_spec)
 from .simulator import BUILTIN_POLICIES, SimulationResult, Simulator
 
 __all__ = ["ExperimentRunner"]
@@ -113,6 +115,13 @@ class ExperimentRunner:
         if persist:
             self.cache.put(self._fingerprint(spec), result)
 
+    @staticmethod
+    def _emit_cache(kind: str, spec: RunSpec,
+                    layer: Optional[str] = None) -> None:
+        """``cache.hit``/``cache.miss`` journal event for one lookup."""
+        get_journal().emit(kind, layer=layer, benchmark=spec.benchmark,
+                           policy=spec.policy, tag=spec.tag)
+
     def cached(self, benchmark: str, policy: str, tag: str = "baseline"
                ) -> Optional[Tuple[SimulationResult, str]]:
         """Memory-then-disk lookup without simulating.
@@ -123,13 +132,19 @@ class ExperimentRunner:
         the service's worker pool can walk the same resolution path.
         """
         key = (tag, benchmark, policy)
+        journal = get_journal()
         if key in self._cache:
+            if journal.enabled:
+                self._emit_cache("cache.hit", self._spec(benchmark, policy,
+                                                         tag), "memory")
             return self._cache[key], "memory"
         spec = self._spec(benchmark, policy, tag)
         disk = self.cache.get(self._fingerprint(spec))
         if disk is not None:
             self._cache[key] = disk
+            self._emit_cache("cache.hit", spec, "disk")
             return disk, "disk"
+        self._emit_cache("cache.miss", spec)
         return None
 
     def memoise_spec(self, spec: RunSpec, result: SimulationResult) -> None:
@@ -174,24 +189,34 @@ class ExperimentRunner:
                 "policy; run a custom factory under a distinct name")
         key = (tag, benchmark, policy)
         if key in self._cache:
+            if get_journal().enabled:
+                self._emit_cache("cache.hit",
+                                 self._spec(benchmark, policy, tag),
+                                 "memory")
             return self._cache[key]
         spec = self._spec(benchmark, policy, tag)
         if policy_factory is None:
             disk = self.cache.get(self._fingerprint(spec))
             if disk is not None:
                 self._cache[key] = disk
+                self._emit_cache("cache.hit", spec, "disk")
                 self._report(spec, 0.0, "disk")
                 return disk
+            self._emit_cache("cache.miss", spec)
         if self.remote is not None and policy_factory is None:
             result = self._execute([spec], jobs=1)[0]
             self._memoise(key, spec, result, persist=True)
             return result
         sim = self.simulator(tag)
-        policy_arg = policy_factory() if policy_factory else policy
         start = time.perf_counter()
-        result = sim.run_benchmark(benchmark, policy_arg,
-                                   instructions=self.instructions,
-                                   seed=spec.seed)
+        if policy_factory is None:
+            # simulate_spec is the instrumented sim chokepoint (span +
+            # sim.* journal events); it runs the same simulator object
+            result = simulate_spec(spec, simulator=sim)
+        else:
+            result = sim.run_benchmark(benchmark, policy_factory(),
+                                       instructions=self.instructions,
+                                       seed=spec.seed)
         self._report(spec, time.perf_counter() - start, "run")
         self._memoise(key, spec, result, persist=policy_factory is None)
         return result
@@ -223,10 +248,15 @@ class ExperimentRunner:
         results: List[Optional[SimulationResult]] = [None] * len(keys)
         todo: List[Tuple[int, Tuple[str, str, str], RunSpec]] = []
         pending: Dict[Tuple[str, str, str], List[int]] = {}
+        journal = get_journal()
         for i, (key, (benchmark, policy, tag)) in enumerate(
                 zip(keys, normalised)):
             if key in self._cache:
                 # silent: memory hits are free and would flood progress
+                if journal.enabled:
+                    self._emit_cache("cache.hit",
+                                     self._spec(benchmark, policy, tag),
+                                     "memory")
                 results[i] = self._cache[key]
                 continue
             if key in pending:        # duplicate request in this batch
@@ -238,8 +268,10 @@ class ExperimentRunner:
             if disk is not None:
                 self._cache[key] = disk
                 results[i] = disk
+                self._emit_cache("cache.hit", spec, "disk")
                 self._report(spec, 0.0, "disk")
                 continue
+            self._emit_cache("cache.miss", spec)
             todo.append((i, key, spec))
         if todo:
             fresh = self._execute([spec for _i, _key, spec in todo],

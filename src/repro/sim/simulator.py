@@ -106,15 +106,23 @@ class Simulator:
                       policy: Union[str, GatingPolicy] = "base",
                       instructions: Optional[int] = None,
                       seed: Optional[int] = None,
-                      prewarm: bool = True) -> SimulationResult:
-        """Simulate one SPEC2000-like benchmark under one policy."""
+                      prewarm: bool = True,
+                      observers: Optional[Iterable] = None
+                      ) -> SimulationResult:
+        """Simulate one SPEC2000-like benchmark under one policy.
+
+        ``observers`` are extra per-cycle callbacks (see
+        :data:`~repro.pipeline.core.CycleObserver`) attached after the
+        power accountant — the opt-in sampling hook.
+        """
         profile = (get_profile(benchmark) if isinstance(benchmark, str)
                    else benchmark)
         count = instructions or default_instructions()
         generator = SyntheticTraceGenerator(profile, seed=seed)
         stream = TraceStream(iter(generator), limit=count)
         return self._run(profile.name, stream, policy, count,
-                         prewarm_source=generator if prewarm else None)
+                         prewarm_source=generator if prewarm else None,
+                         observers=observers)
 
     def run_trace(self, source: Iterable[MicroOp], policy:
                   Union[str, GatingPolicy] = "base",
@@ -128,14 +136,17 @@ class Simulator:
     def _run(self, name: str, stream: TraceStream,
              policy: Union[str, GatingPolicy],
              instructions: Optional[int],
-             prewarm_source: Optional[SyntheticTraceGenerator] = None
-             ) -> SimulationResult:
+             prewarm_source: Optional[SyntheticTraceGenerator] = None,
+             observers: Optional[Iterable] = None) -> SimulationResult:
         policy_obj = make_policy(policy) if isinstance(policy, str) else policy
         pipeline = Pipeline(self.config, stream, policy_obj)
         if prewarm_source is not None:
             prewarm_source.prewarm(pipeline.hierarchy)
         accountant = PowerAccountant(self.blocks)
         pipeline.add_observer(accountant.observe)
+        if observers:
+            for observer in observers:
+                pipeline.add_observer(observer)
         stats = pipeline.run(max_instructions=instructions)
 
         family_savings = {

@@ -1,0 +1,107 @@
+"""Journal post-processing: summarize, tail, terminal formatting."""
+
+from repro.obs import (format_event_line, format_summary, summarize_events,
+                       summarize_journal, tail_events)
+
+TRACE = "a" * 32
+
+
+def _event(kind, **fields):
+    return {"v": 1, "ts": fields.pop("ts", 100.0), "kind": kind, "pid": 1,
+            "trace_id": TRACE, **fields}
+
+
+def _sample_events():
+    return [
+        _event("job.enqueue", ts=100.0, benchmark="gzip", policy="dcg",
+               job_id="j1"),
+        _event("job.enqueue", ts=100.1, benchmark="gzip", policy="dcg",
+               job_id="j1", deduped=True),
+        _event("job.dequeue", ts=100.2, benchmark="gzip", policy="dcg",
+               job_id="j1"),
+        _event("cache.miss", ts=100.3, benchmark="gzip", policy="dcg"),
+        _event("sim.start", ts=100.3, benchmark="gzip", policy="dcg"),
+        _event("sim.finish", ts=101.3, benchmark="gzip", policy="dcg",
+               seconds=1.0, cycles=500),
+        _event("job.complete", ts=101.4, benchmark="gzip", policy="dcg",
+               job_id="j1", source="run", seconds=1.2),
+        _event("cache.hit", ts=101.5, layer="memory", benchmark="gzip",
+               policy="dcg"),
+        _event("cache.hit", ts=101.6, layer="disk", benchmark="mcf",
+               policy="base"),
+        _event("worker.crash", ts=102.0, benchmark="mcf", policy="dcg",
+               job_id="j2", error="worker exited with code -9"),
+        _event("job.retry", ts=102.1, benchmark="mcf", policy="dcg",
+               job_id="j2", attempt=2),
+        _event("job.timeout", ts=103.0, benchmark="art", policy="dcg",
+               job_id="j3"),
+        _event("job.fail", ts=103.1, benchmark="art", policy="dcg",
+               job_id="j3", error="JobTimeout: too slow"),
+        _event("job.requeue", ts=103.2, benchmark="mcf", policy="dcg",
+               job_id="j2"),
+        _event("sim.error", ts=103.3, benchmark="mcf", policy="dcg",
+               tag="deep", error="ValueError: bad config"),
+    ]
+
+
+def test_summarize_events_counts():
+    summary = summarize_events(_sample_events())
+    assert summary["events"] == 15
+    assert summary["traces"] == [TRACE]
+    assert summary["first_ts"] == 100.0 and summary["last_ts"] == 103.3
+    assert summary["sims"] == {"gzip/dcg": {"count": 1, "seconds": 1.0}}
+    assert summary["cache"] == {"hits": 2, "misses": 1,
+                                "hits_memory": 1, "hits_disk": 1}
+    jobs = summary["jobs"]
+    assert jobs["enqueued"] == 1 and jobs["deduped"] == 1
+    assert jobs["dequeued"] == 1 and jobs["completed"] == 1
+    assert jobs["failed"] == 1 and jobs["retried"] == 1
+    assert jobs["timed_out"] == 1 and jobs["requeued"] == 1
+    assert jobs["crashes"] == 1
+    failures = summary["failures"]
+    assert len(failures) == 2                    # job.fail + sim.error
+    assert failures[0]["spec"] == "art/dcg"
+    assert failures[0]["error"] == "JobTimeout: too slow"
+    assert failures[1]["spec"] == "mcf/dcg@deep"
+
+
+def test_summarize_empty():
+    summary = summarize_events([])
+    assert summary["events"] == 0
+    assert summary["first_ts"] is None
+    assert summary["failures"] == []
+    assert "0 events" in format_summary(summary)
+
+
+def test_format_summary_mentions_the_interesting_parts():
+    text = format_summary(summarize_events(_sample_events()))
+    assert "1 trace(s)" in text
+    assert "gzip/dcg" in text
+    assert "2 hit(s) (1 memory, 1 disk), 1 miss(es)" in text
+    assert "1 enqueued (+1 deduped)" in text
+    assert "1 worker crash(es)" in text
+    assert "FAILED art/dcg (job j3): JobTimeout: too slow" in text
+
+
+def test_format_event_line():
+    line = format_event_line(_event("sim.finish", benchmark="gzip",
+                                    policy="dcg", seconds=1.0))
+    assert "sim.finish" in line
+    assert f"trace={TRACE[:8]}" in line
+    assert "benchmark=gzip" in line
+    assert "v=1" not in line                     # core keys not repeated
+    # events with no timestamp/trace still format
+    assert "sim.start" in format_event_line({"kind": "sim.start"})
+
+
+def test_tail_and_summarize_journal(tmp_path):
+    import json
+    path = tmp_path / "events.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in _sample_events():
+            handle.write(json.dumps(event) + "\n")
+    last3 = tail_events(str(path), 3)
+    assert [e["kind"] for e in last3] == ["job.fail", "job.requeue",
+                                          "sim.error"]
+    summary = summarize_journal(str(path))
+    assert summary["events"] == 15
