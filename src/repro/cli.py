@@ -9,6 +9,7 @@ Subcommands
 ``budget``   print the per-structure power budget of a configuration
 ``bench``    list the available benchmark profiles
 ``serve``    run the simulation service (job queue + HTTP API)
+``drain``    ask a running service to stop accepting new work
 ``submit``   submit one run to a running service
 ``events``   tail or summarize a run journal (``REPRO_LOG_DIR``)
 
@@ -159,6 +160,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "isolation and one crash retry")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="directory for the crash-safe queue journal "
+                            "(default: $REPRO_STATE_DIR); a restarted "
+                            "server replays its outstanding jobs from it")
+
+    drain = sub.add_parser(
+        "drain", help="ask a running service to stop accepting new work")
+    drain.add_argument("--server", default=None, metavar="URL",
+                       help="service URL (default: $REPRO_SERVICE_URL or "
+                            "http://127.0.0.1:8765)")
 
     submit = sub.add_parser(
         "submit", help="submit one run to a running service")
@@ -371,17 +382,24 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .faults import get_plan
     from .service import SimulationService
     from .service.server import serve as serve_service
     workers = _jobs_or_exit(args, default=2)
     service = SimulationService(instructions=args.instructions,
                                 workers=workers,
                                 queue_depth=args.queue_depth,
-                                timeout=args.timeout)
+                                timeout=args.timeout,
+                                state_dir=args.state_dir)
     cache_note = service.runner.cache.root or "off (set REPRO_CACHE_DIR)"
+    state_note = service.state_dir or "off (set REPRO_STATE_DIR)"
     print(f"repro service on http://{args.host}:{args.port}  "
           f"[{workers} worker(s), queue depth {args.queue_depth}, "
-          f"disk cache {cache_note}]", file=sys.stderr)
+          f"disk cache {cache_note}, state {state_note}, "
+          f"faults {get_plan().describe()}]", file=sys.stderr)
+    if service.queue.restored:
+        print(f"restored {service.queue.restored} outstanding job(s) "
+              "from the queue journal", file=sys.stderr)
     accepted = serve_service(service, host=args.host, port=args.port,
                              verbose=args.verbose)
     counters = service.queue.counters()
@@ -391,16 +409,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+    client = ServiceClient(args.server)
+    try:
+        status = client.drain()
+    except ServiceError as exc:
+        raise SystemExit(f"drain failed: {exc}")
+    print(f"{client.base_url} draining: {status['queued']} queued, "
+          f"{status['running']} running, {status['done']} done, "
+          f"{status['failed']} failed", file=sys.stderr)
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .service.client import (BackpressureError, JobFailed,
-                                 ServiceClient, ServiceError)
+                                 ServiceClient, ServiceClosed, ServiceError)
     client = ServiceClient(args.server)
     fields = {"benchmark": args.benchmark, "policy": args.policy,
               "tag": args.tag}
     if args.instructions is not None:
         fields["instructions"] = args.instructions
+    deadline = args.timeout if args.wait else None
     try:
-        job = client.submit_one(**fields)
+        job = client.submit_one(deadline_seconds=deadline, **fields)
+    except ServiceClosed as exc:
+        # draining is fatal for this server: retrying cannot succeed
+        raise SystemExit(f"server is draining, not retrying: {exc}")
     except BackpressureError as exc:
         raise SystemExit(f"server queue is full, retry later: {exc}")
     except ServiceError as exc:
@@ -454,6 +489,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "bench-perf": _cmd_bench_perf,
     "serve": _cmd_serve,
+    "drain": _cmd_drain,
     "submit": _cmd_submit,
     "events": _cmd_events,
 }

@@ -1,0 +1,9 @@
+"""Deterministic fault injection (see :mod:`repro.faults.plan`)."""
+
+from .plan import (FAULTS_ENV_VAR, SITES, FaultPlan, FaultRule,
+                   configure_faults, corrupt_file, fault_active, get_plan,
+                   parse_spec, should_inject)
+
+__all__ = ["FAULTS_ENV_VAR", "FaultPlan", "FaultRule", "SITES",
+           "configure_faults", "corrupt_file", "fault_active", "get_plan",
+           "parse_spec", "should_inject"]

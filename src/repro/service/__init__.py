@@ -7,22 +7,30 @@ from the cache.  ``python -m repro serve`` boots it; ``python -m repro
 submit`` and :class:`ServiceClient` talk to it.
 """
 
-from .client import (BackpressureError, JobFailed, ServiceClient,
-                     ServiceError, ServiceTimeout, default_server_url)
-from .jobs import (Job, JobQueue, JobState, QueueFull, make_spec,
-                   spec_fingerprint, validate_spec)
+from .client import (DEADLINE_HEADER, BackpressureError, JobFailed,
+                     ServiceClient, ServiceClosed, ServiceError,
+                     ServiceTimeout, default_server_url)
+from .jobs import (Job, JobQueue, JobState, QueueClosed, QueueFull,
+                   make_spec, spec_fingerprint, validate_spec)
+from .persist import (STATE_DIR_ENV_VAR, PendingJob, QueueJournal)
 from .server import ServiceServer, SimulationService, serve
 from .workers import JobTimeout, ShutdownRequested, WorkerCrash, WorkerPool
 
 __all__ = [
     "BackpressureError",
+    "DEADLINE_HEADER",
     "Job",
     "JobFailed",
     "JobQueue",
     "JobState",
     "JobTimeout",
+    "PendingJob",
+    "QueueClosed",
     "QueueFull",
+    "QueueJournal",
+    "STATE_DIR_ENV_VAR",
     "ServiceClient",
+    "ServiceClosed",
     "ServiceError",
     "ServiceServer",
     "ServiceTimeout",

@@ -18,21 +18,29 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import should_inject
 from ..obs.tracing import span, trace_headers
 from ..sim.cache import result_from_dict
 from ..sim.parallel import RunSpec
 from ..sim.simulator import SimulationResult
 
-__all__ = ["BackpressureError", "JobFailed", "ServiceClient", "ServiceError",
+__all__ = ["BackpressureError", "DEADLINE_HEADER", "JobFailed",
+           "ServiceClient", "ServiceClosed", "ServiceError",
            "ServiceTimeout", "default_server_url", "SERVER_ENV_VAR"]
 
 #: environment variable naming the default service URL
 SERVER_ENV_VAR = "REPRO_SERVICE_URL"
+
+#: request header carrying the client's remaining patience in seconds;
+#: the server turns it into an absolute monotonic deadline and the
+#: worker pool skips jobs whose every deadline has passed
+DEADLINE_HEADER = "X-Repro-Deadline"
 
 
 def default_server_url(default: str = "http://127.0.0.1:8765") -> str:
@@ -48,10 +56,20 @@ class ServiceError(RuntimeError):
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        # job ids a batch helper managed to place before this error;
+        # populated by ``run_specs`` so callers can recover the partial
+        # batch instead of losing track of accepted work
+        self.accepted_job_ids: List[str] = []
 
 
 class BackpressureError(ServiceError):
     """The server's queue is full (HTTP 429); retry after a delay."""
+
+
+class ServiceClosed(ServiceError):
+    """The server is draining/shutting down (HTTP 503 with ``closed``);
+    it will never take this job — retrying is pointless, find another
+    server or give up."""
 
 
 class JobFailed(ServiceError):
@@ -72,35 +90,53 @@ class ServiceClient:
         ``$REPRO_SERVICE_URL``).
     retries / backoff:
         Connection-error retries per request and the base sleep between
-        them (doubling each attempt).  HTTP-level errors are never
-        retried here — they are semantic answers, not flakiness.
+        them (exponential with equal jitter, so a fleet of clients
+        recovering from the same blip doesn't stampede the server in
+        lockstep).  HTTP-level errors are never retried here — they are
+        semantic answers, not flakiness.
     timeout:
         Socket timeout per request, seconds.
+    seed:
+        Seed for the jitter RNG (tests pin it; production leaves the
+        default entropy).
     """
 
     def __init__(self, base_url: Optional[str] = None, retries: int = 3,
-                 backoff: float = 0.2, timeout: float = 30.0) -> None:
+                 backoff: float = 0.2, timeout: float = 30.0,
+                 seed: Optional[int] = None) -> None:
         self.base_url = (base_url or default_server_url()).rstrip("/")
         self.retries = retries
         self.backoff = backoff
         self.timeout = timeout
+        self._rng = random.Random(seed)
 
     # -- transport --------------------------------------------------------
 
+    def _jittered(self, delay: float) -> float:
+        """Equal-jitter backoff: half fixed, half uniform random."""
+        return 0.5 * delay + 0.5 * delay * self._rng.random()
+
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
-                 timeout: Optional[float] = None) -> Dict[str, Any]:
+                 timeout: Optional[float] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> Dict[str, Any]:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
         # the active trace context (if any) rides along as headers, so
         # server-side spans and job events join the caller's trace
-        headers = {"Content-Type": "application/json", **trace_headers()}
+        all_headers = {"Content-Type": "application/json",
+                       **trace_headers(), **(headers or {})}
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, method=method,
-            headers=headers)
+            headers=all_headers)
         delay = self.backoff
         for attempt in range(self.retries + 1):
             try:
+                # fault injection: lose the request before the wire, so
+                # the retry/backoff path below does the recovering
+                if should_inject("http.drop"):
+                    raise ConnectionResetError("injected fault: http.drop")
                 with urllib.request.urlopen(
                         request, timeout=timeout or self.timeout) as reply:
                     return json.loads(reply.read().decode("utf-8"))
@@ -109,6 +145,8 @@ class ServiceClient:
                 message = payload.get("error", str(exc))
                 if exc.code == 429:
                     raise BackpressureError(message, exc.code, payload)
+                if exc.code == 503 and payload.get("closed"):
+                    raise ServiceClosed(message, exc.code, payload)
                 if exc.code == 504:
                     raise ServiceTimeout(message, exc.code, payload)
                 if exc.code == 500 and "job" in payload:
@@ -119,8 +157,8 @@ class ServiceClient:
                 if attempt >= self.retries:
                     raise ServiceError(
                         f"cannot reach {self.base_url}: {exc}") from exc
-                time.sleep(delay)
-                delay *= 2
+                time.sleep(self._jittered(delay))
+                delay = min(delay * 2, 10.0)
         raise AssertionError("unreachable")
 
     @staticmethod
@@ -138,18 +176,35 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
 
-    def submit(self, runs: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    def submit(self, runs: Sequence[Dict[str, Any]],
+               deadline_seconds: Optional[float] = None
+               ) -> List[Dict[str, Any]]:
         """Submit a batch of loose request dicts; job records back.
 
-        Raises :class:`BackpressureError` when the queue fills mid-
-        batch; its ``payload["jobs"]`` lists what was accepted first.
-        """
-        return self._request("POST", "/v1/runs",
-                             {"runs": list(runs)})["jobs"]
+        ``deadline_seconds`` rides as the :data:`DEADLINE_HEADER` —
+        "I'll wait this long"; the worker pool skips jobs once nobody's
+        deadline is live any more.
 
-    def submit_one(self, **fields: Any) -> Dict[str, Any]:
+        Raises :class:`BackpressureError` when the queue fills mid-
+        batch (its ``payload["jobs"]`` lists what was accepted first)
+        and :class:`ServiceClosed` when the server is draining.
+        """
+        headers = None
+        if deadline_seconds is not None:
+            headers = {DEADLINE_HEADER:
+                       f"{max(0.0, deadline_seconds):.3f}"}
+        return self._request("POST", "/v1/runs",
+                             {"runs": list(runs)}, headers=headers)["jobs"]
+
+    def submit_one(self, deadline_seconds: Optional[float] = None,
+                   **fields: Any) -> Dict[str, Any]:
         """Submit a single run, e.g. ``submit_one(benchmark="gzip")``."""
-        return self.submit([fields])[0]
+        return self.submit([fields],
+                           deadline_seconds=deadline_seconds)[0]
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the server to stop accepting work and finish what it owns."""
+        return self._request("POST", "/v1/drain")
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/runs/{job_id}")
@@ -183,8 +238,16 @@ class ServiceClient:
         """Results for a batch of specs, in submission order.
 
         Rides out 429 backpressure by resubmitting the rejected tail
-        with exponential backoff until ``timeout`` expires; the server
-        dedups any overlap, so resubmission is idempotent.
+        with jittered exponential backoff until ``timeout`` expires;
+        the server dedups any overlap, so resubmission is idempotent.
+        When the deadline passes mid-batch (or the server starts
+        draining), the raised error carries ``accepted_job_ids`` — the
+        jobs already placed — so the caller can recover the partial
+        batch instead of losing track of accepted work.
+
+        A 404 while collecting (the server restarted and no longer
+        knows a finished job's id) resubmits that spec: the disk cache
+        answers it without re-simulation.
         """
         deadline = time.monotonic() + timeout
         fields = [{
@@ -194,23 +257,57 @@ class ServiceClient:
         } for spec in specs]
         with span("client.run_specs", specs=len(fields),
                   server=self.base_url):
-            job_ids: List[str] = []
-            delay = max(self.backoff, 0.05)
-            while fields:
-                try:
-                    jobs = self.submit(fields)
-                except BackpressureError as exc:
-                    accepted = exc.payload.get("jobs", [])
-                    job_ids.extend(job["id"] for job in accepted)
-                    fields = fields[len(accepted):]
-                    if time.monotonic() + delay > deadline:
-                        raise
-                    time.sleep(delay)
-                    delay = min(delay * 2, 5.0)
+            pairs = self._submit_riding_backpressure(fields, deadline)
+            return [self._collect_result(job_id, field, deadline)
+                    for job_id, field in pairs]
+
+    def _submit_riding_backpressure(
+            self, fields: List[Dict[str, Any]], deadline: float
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Place every field dict, riding 429s; ``(job_id, field)`` pairs.
+
+        On giving up (deadline passed, or the server is draining) the
+        exception gains the ids accepted so far as
+        ``exc.accepted_job_ids`` and ``exc.payload["accepted_job_ids"]``.
+        """
+        pairs: List[Tuple[str, Dict[str, Any]]] = []
+        remaining = list(fields)
+        delay = max(self.backoff, 0.05)
+        while remaining:
+            budget = deadline - time.monotonic()
+            try:
+                jobs = self.submit(remaining,
+                                   deadline_seconds=max(0.0, budget))
+            except (BackpressureError, ServiceClosed) as exc:
+                accepted = exc.payload.get("jobs", [])
+                pairs.extend(zip((job["id"] for job in accepted),
+                                 remaining))
+                remaining = remaining[len(accepted):]
+                if not remaining:
+                    break                # the rejection took the last spec
+                if (isinstance(exc, ServiceClosed)
+                        or time.monotonic() + delay > deadline):
+                    exc.accepted_job_ids = [job_id for job_id, _ in pairs]
+                    exc.payload["accepted_job_ids"] = exc.accepted_job_ids
+                    raise
+                time.sleep(self._jittered(delay))
+                delay = min(delay * 2, 5.0)
+                continue
+            pairs.extend(zip((job["id"] for job in jobs), remaining))
+            remaining = []
+        return pairs
+
+    def _collect_result(self, job_id: str, field: Dict[str, Any],
+                        deadline: float) -> SimulationResult:
+        """One job's result, resubmitting on 404 after a server restart."""
+        while True:
+            budget = max(1.0, deadline - time.monotonic())
+            try:
+                return self.result(job_id, timeout=budget)
+            except ServiceError as exc:
+                if exc.status == 404 and time.monotonic() < deadline:
+                    pairs = self._submit_riding_backpressure(
+                        [field], deadline)
+                    job_id = pairs[0][0]
                     continue
-                job_ids.extend(job["id"] for job in jobs)
-                break
-            return [self.result(
-                        job_id,
-                        timeout=max(1.0, deadline - time.monotonic()))
-                    for job_id in job_ids]
+                raise

@@ -29,6 +29,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..faults import should_inject
 from ..obs.events import get_journal
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import current_context, new_trace_id
@@ -38,13 +39,24 @@ from ..sim.configs import config_from_tag
 from ..sim.parallel import RunSpec
 from ..sim.simulator import BUILTIN_POLICIES, SimulationResult
 from ..workloads.profiles import get_profile
+from .persist import PendingJob, QueueJournal
 
-__all__ = ["Job", "JobQueue", "JobState", "QueueFull", "make_spec",
-           "spec_fingerprint", "validate_spec"]
+__all__ = ["Job", "JobQueue", "JobState", "QueueClosed", "QueueFull",
+           "make_spec", "spec_fingerprint", "validate_spec"]
 
 
 class QueueFull(RuntimeError):
     """``submit`` would exceed the queue's bounded depth."""
+
+
+class QueueClosed(RuntimeError):
+    """``submit`` on a closed (draining/shutting-down) queue.
+
+    Deliberately *not* a :class:`QueueFull` subclass: full means "retry
+    in a moment" (HTTP 429) while closed means "this server will never
+    take the job" (HTTP 503) — conflating them made clients retry
+    forever against a dying server.
+    """
 
 
 class JobState(enum.Enum):
@@ -121,6 +133,7 @@ class Job:
     finished_at: Optional[float] = None
     trace_id: Optional[str] = None           #: submitter's trace
     parent_span_id: Optional[str] = None     #: submitter's active span
+    deadline_at: Optional[float] = None      #: monotonic; None = no deadline
     _seq: int = 0                            #: FIFO position within priority
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
@@ -132,6 +145,12 @@ class Job:
     @property
     def finished(self) -> bool:
         return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
+    def expired(self) -> bool:
+        """True when every client's deadline has already passed."""
+        return (self.deadline_at is not None
+                and time.monotonic() > self.deadline_at)
 
     @property
     def seconds(self) -> Optional[float]:
@@ -158,6 +177,7 @@ class Job:
             "requeues": self.requeues,
             "seconds": self.seconds,
             "trace_id": self.trace_id,
+            "expired": self.expired,
         }
 
     def event_fields(self) -> Dict[str, Any]:
@@ -183,16 +203,22 @@ class JobQueue:
     registry:
         Shared :class:`~repro.obs.metrics.MetricsRegistry` holding the
         queue's counters (a private one is created when omitted).
+    persist:
+        Optional :class:`~repro.service.persist.QueueJournal`; every
+        accepted submission and terminal transition is recorded so a
+        killed server can :meth:`restore` its outstanding work.
     """
 
     def __init__(self, maxsize: int = 64,
                  calibration: Optional[PowerCalibration] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 persist: Optional[QueueJournal] = None) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self.calibration = calibration or PowerCalibration()
         self.registry = registry or MetricsRegistry()
+        self.persist = persist
         self._cond = threading.Condition()
         self._heap: List[Tuple[int, int, Job]] = []
         self._jobs: Dict[str, Job] = {}
@@ -217,6 +243,9 @@ class JobQueue:
                                "jobs that ended in failure")
         self._requeued = counter("repro_jobs_requeued_total",
                                  "running jobs re-queued by a shutdown")
+        self._restored = counter("repro_jobs_restored_total",
+                                 "jobs re-queued from the persistence "
+                                 "journal at startup")
         self.registry.gauge("repro_queue_depth",
                             "jobs waiting to run", fn=lambda: self.depth)
         self.registry.gauge("repro_queue_saturated_seconds",
@@ -249,6 +278,15 @@ class JobQueue:
     def requeued(self) -> int:
         return int(self._requeued.value)
 
+    @property
+    def restored(self) -> int:
+        return int(self._restored.value)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
     # -- saturation tracking ----------------------------------------------
 
     def _queued_count(self) -> int:
@@ -275,13 +313,21 @@ class JobQueue:
     # -- submission side --------------------------------------------------
 
     def submit(self, spec: RunSpec, priority: int = 0,
-               key: Optional[str] = None) -> Tuple[Job, bool]:
+               key: Optional[str] = None,
+               deadline_at: Optional[float] = None) -> Tuple[Job, bool]:
         """Accept ``spec``; returns ``(job, created)``.
 
         ``created`` is False when an identical spec was already queued
         or running — the caller shares that job.  Dedup wins over
         backpressure: a duplicate of an in-flight spec is accepted even
-        when the queue is full, because it adds no work.
+        when the queue is full, because it adds no work.  It also wins
+        over closure, so a draining server keeps answering status polls
+        for work it already owns.
+
+        ``deadline_at`` is a ``time.monotonic()`` instant after which no
+        client is waiting for the result; the worker pool skips expired
+        jobs.  On dedup the live job keeps the *latest* interest: a
+        ``None`` deadline (someone waits forever) wins outright.
 
         The submitter's active trace context (CLI span or propagated
         HTTP headers) is recorded on the job so worker-side events join
@@ -293,14 +339,19 @@ class JobQueue:
         with self._cond:
             live = self._inflight.get(key)
             if live is not None and not live.finished:
+                if deadline_at is None:
+                    live.deadline_at = None
+                elif live.deadline_at is not None:
+                    live.deadline_at = max(live.deadline_at, deadline_at)
                 self._deduped.inc()
                 journal.emit("job.enqueue", trace_id=live.trace_id,
                              deduped=True, **live.event_fields())
                 return live, False
             if self._closed:
-                raise QueueFull("queue is shut down")
+                raise QueueClosed(
+                    "queue is shut down; not accepting new work")
             queued = self._queued_count()
-            if queued >= self.maxsize:
+            if queued >= self.maxsize or should_inject("queue.full"):
                 self._rejected.inc()
                 self._note_depth(queued)
                 raise QueueFull(
@@ -313,6 +364,7 @@ class JobQueue:
                                 else new_trace_id()),
                       parent_span_id=(context.span_id if context
                                       else None),
+                      deadline_at=deadline_at,
                       _seq=next(self._seq))
             self._jobs[job.id] = job
             self._inflight[key] = job
@@ -320,11 +372,59 @@ class JobQueue:
             self._submitted.inc()
             self._note_depth(queued + 1)
             self._cond.notify()
+        if self.persist is not None:
+            self.persist.record_submit(job)
         journal.emit("job.enqueue", trace_id=job.trace_id,
                      deduped=False, priority=priority,
                      instructions=spec.instructions,
                      **job.event_fields())
         return job, True
+
+    def restore(self, pending: List[PendingJob]) -> int:
+        """Re-queue jobs replayed from the persistence journal.
+
+        Jobs keep their original id, priority, and trace, so a client
+        that survived the server polls the same URLs and wins.  Invalid
+        specs (a profile renamed between lives, say) and duplicates of
+        already-restored fingerprints are skipped with a journal event
+        rather than poisoning the queue.  Counted separately from
+        ``submitted`` — restored work was already counted by its first
+        life.  Returns the number restored.
+        """
+        journal = get_journal()
+        count = 0
+        for record in pending:
+            try:
+                spec = record.to_spec()
+                validate_spec(spec)
+                key = spec_fingerprint(spec, self.calibration)
+            except (KeyError, TypeError, ValueError) as exc:
+                journal.emit("job.restore_skipped", job_id=record.id,
+                             error=str(exc))
+                continue
+            with self._cond:
+                if self._closed:
+                    break
+                live = self._inflight.get(key)
+                if live is not None and not live.finished:
+                    journal.emit("job.restore_skipped", job_id=record.id,
+                                 error=f"duplicate of in-flight {live.id}")
+                    continue
+                job = Job(id=record.id, spec=spec, key=key,
+                          priority=record.priority,
+                          submitted_at=time.time(),
+                          trace_id=record.trace_id or new_trace_id(),
+                          parent_span_id=record.parent_span_id,
+                          _seq=next(self._seq))
+                self._jobs[job.id] = job
+                self._inflight[key] = job
+                self._push(job)
+                self._restored.inc()
+                self._cond.notify()
+            count += 1
+            journal.emit("job.restore", trace_id=job.trace_id,
+                         **job.event_fields())
+        return count
 
     def _push(self, job: Job) -> None:
         # negative priority: larger ``priority`` pops first; ``_seq``
@@ -374,6 +474,11 @@ class JobQueue:
             job.finished_at = time.time()
             self._inflight.pop(job.key, None)
             self._done.inc()
+        # the terminal record lands before waiters wake: anything a
+        # client observed finished is finished after a restart too
+        if self.persist is not None:
+            self.persist.record_done(job.id)
+            self._maybe_compact()
         job._done.set()
         get_journal().emit("job.complete", trace_id=job.trace_id,
                            source=source, seconds=job.seconds,
@@ -394,6 +499,9 @@ class JobQueue:
             job.finished_at = time.time()
             self._inflight.pop(job.key, None)
             self._failed.inc()
+        if self.persist is not None:
+            self.persist.record_fail(job.id)
+            self._maybe_compact()
         job._done.set()
         get_journal().emit("job.fail", trace_id=job.trace_id,
                            error=error, traceback=traceback,
@@ -414,6 +522,16 @@ class JobQueue:
             self._cond.notify()
         get_journal().emit("job.requeue", trace_id=job.trace_id,
                            requeues=job.requeues, **job.event_fields())
+
+    def _maybe_compact(self) -> None:
+        """Rewrite the persistence journal once enough terminals pile up."""
+        if self.persist is None or not self.persist.should_compact():
+            return
+        with self._cond:
+            outstanding = [PendingJob.from_job(job)
+                           for job in self._jobs.values()
+                           if not job.finished]
+        self.persist.compact(outstanding)
 
     # -- introspection ----------------------------------------------------
 
@@ -443,6 +561,7 @@ class JobQueue:
                 "done": self.done,
                 "failed": self.failed,
                 "requeued": self.requeued,
+                "restored": self.restored,
             }
 
     def close(self) -> None:

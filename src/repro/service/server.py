@@ -10,6 +10,9 @@ disk-backed :class:`~repro.sim.runner.ExperimentRunner`;
                           400 on an invalid spec
 ``GET /v1/runs/<id>``     job status
 ``GET /v1/runs/<id>/result``  block (``?timeout=`` seconds) for the result
+``POST /v1/drain``        stop accepting new work; in-flight and queued
+                          jobs still complete and their results stay
+                          fetchable (graceful drain before shutdown)
 ``GET /healthz``          liveness + queue/worker summary; 503 once the
                           service is degraded (dead workers, sustained
                           queue saturation)
@@ -27,6 +30,7 @@ starve status polls.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 import time
@@ -34,12 +38,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..faults import get_plan
+from ..obs.events import get_journal
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import activate, context_from_headers, span
 from ..power.budget import PowerCalibration
 from ..sim.cache import ResultCache, result_to_dict
 from ..sim.runner import ExperimentRunner
-from .jobs import Job, JobQueue, QueueFull, make_spec
+from .client import DEADLINE_HEADER
+from .jobs import Job, JobQueue, QueueClosed, QueueFull, make_spec
+from .persist import (QUEUE_JOURNAL_FILENAME, STATE_DIR_ENV_VAR,
+                      QueueJournal)
 from .workers import WorkerPool
 
 __all__ = ["ServiceServer", "SimulationService", "serve"]
@@ -72,16 +81,36 @@ class SimulationService:
                  workers: int = 2, queue_depth: int = 64,
                  timeout: Optional[float] = None,
                  compute=None,
-                 degraded_after: float = 30.0) -> None:
+                 degraded_after: float = 30.0,
+                 state_dir: Optional[str] = None) -> None:
         self.registry = MetricsRegistry()
         self.runner = ExperimentRunner(instructions=instructions,
                                        calibration=calibration, cache=cache)
+        if state_dir is None:
+            state_dir = os.environ.get(STATE_DIR_ENV_VAR) or None
+        self.state_dir = state_dir
+        persist = None
+        pending = []
+        if state_dir:
+            persist = QueueJournal(
+                os.path.join(state_dir, QUEUE_JOURNAL_FILENAME))
+            # replay what a previous life still owed, then compact the
+            # journal down to exactly that outstanding set
+            pending = persist.load()
+            persist.compact(pending)
         self.queue = JobQueue(maxsize=queue_depth,
                               calibration=self.runner.calibration,
-                              registry=self.registry)
+                              registry=self.registry,
+                              persist=persist)
+        if pending:
+            restored = self.queue.restore(pending)
+            get_journal().emit("service.restore", restored=restored,
+                               replayed=len(pending))
         self.pool = WorkerPool(self.queue, self.runner, workers=workers,
                                timeout=timeout, compute=compute,
                                registry=self.registry)
+        # injected-fault counts scrape alongside everything else
+        get_plan().bind(self.registry)
         self.degraded_after = degraded_after
         self.started_at = time.time()
         self.registry.gauge("repro_service_uptime_seconds",
@@ -106,11 +135,13 @@ class SimulationService:
 
     # -- request handling -------------------------------------------------
 
-    def submit(self, fields: Dict[str, Any]) -> Tuple[Job, bool]:
+    def submit(self, fields: Dict[str, Any],
+               deadline_at: Optional[float] = None) -> Tuple[Job, bool]:
         """Accept one loose request dict; (job, created).
 
-        Raises ``ValueError`` on a bad spec and
-        :class:`~repro.service.jobs.QueueFull` under backpressure.
+        Raises ``ValueError`` on a bad spec,
+        :class:`~repro.service.jobs.QueueFull` under backpressure, and
+        :class:`~repro.service.jobs.QueueClosed` once draining.
         """
         try:
             spec = make_spec(
@@ -123,7 +154,29 @@ class SimulationService:
         except KeyError as exc:
             raise ValueError(f"missing or unknown field: {exc}") from None
         priority = int(fields.get("priority", 0))
-        return self.queue.submit(spec, priority=priority)
+        return self.queue.submit(spec, priority=priority,
+                                 deadline_at=deadline_at)
+
+    def drain(self) -> Dict[str, Any]:
+        """Stop accepting new work; what's accepted still completes.
+
+        The queue closes (new submissions get :class:`QueueClosed` →
+        503), workers finish the backlog and then exit, and finished
+        results remain fetchable until the process exits.
+        """
+        already = self.queue.closed
+        self.queue.close()
+        if not already:
+            get_journal().emit("service.drain",
+                               queued=self.queue.depth,
+                               running=self.queue.running)
+        return {
+            "status": "draining",
+            "queued": self.queue.depth,
+            "running": self.queue.running,
+            "done": self.queue.done,
+            "failed": self.queue.failed,
+        }
 
     def metrics(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -151,7 +204,11 @@ class SimulationService:
         longer draining.
         """
         reasons: List[str] = []
-        if self.pool.started and self.pool.alive_workers == 0:
+        draining = self.queue.closed
+        # workers exit by design once a drained queue empties — that is
+        # the drain completing, not a degradation
+        if (self.pool.started and self.pool.alive_workers == 0
+                and not draining):
             reasons.append("all worker threads are dead")
         saturated = self.queue.saturated_seconds
         if saturated > self.degraded_after:
@@ -163,6 +220,7 @@ class SimulationService:
             "workers": self.pool.workers,
             "alive_workers": self.pool.alive_workers,
             "queue_depth": self.queue.depth,
+            "draining": draining,
             "uptime_seconds": time.time() - self.started_at,
         }
         if reasons:
@@ -211,11 +269,31 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- endpoints --------------------------------------------------------
 
+    def _deadline_at(self) -> Optional[float]:
+        """Absolute monotonic deadline from the client's relative header.
+
+        The header carries *remaining seconds* rather than a wall-clock
+        instant, so client and server clocks never need to agree; an
+        absent or malformed header means "wait forever".
+        """
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            seconds = float(raw)
+        except ValueError:
+            return None
+        return time.monotonic() + max(0.0, seconds)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if urlparse(self.path).path != "/v1/runs":
+        path = urlparse(self.path).path
+        service = self.server.service
+        if path == "/v1/drain":
+            self._send(200, service.drain())
+            return
+        if path != "/v1/runs":
             self._send(404, {"error": f"no such endpoint: {self.path}"})
             return
-        service = self.server.service
         try:
             data = self._read_json()
         except ValueError as exc:
@@ -223,6 +301,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         requests: List[Dict[str, Any]] = (
             data["runs"] if "runs" in data else [data])
+        deadline_at = self._deadline_at()
         jobs: List[Tuple[Job, bool]] = []
         try:
             # the client's trace context (X-Repro-Trace-Id headers)
@@ -231,9 +310,20 @@ class _Handler(BaseHTTPRequestHandler):
             with activate(context_from_headers(self.headers)):
                 with span("http.submit", runs=len(requests)):
                     for fields in requests:
-                        jobs.append(service.submit(fields))
+                        jobs.append(service.submit(
+                            fields, deadline_at=deadline_at))
         except ValueError as exc:
             self._send(400, {"error": str(exc)})
+            return
+        except QueueClosed as exc:
+            # "closed" tells the client this is fatal-for-this-server,
+            # not a 429-style "try again in a moment"
+            self._send(503, {
+                "error": str(exc),
+                "closed": True,
+                "jobs": [dict(job.to_dict(), deduped=not created)
+                         for job, created in jobs],
+            })
             return
         except QueueFull as exc:
             # batch semantics: all-or-nothing is impossible once some

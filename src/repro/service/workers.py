@@ -27,6 +27,7 @@ import time
 import traceback
 from typing import Callable, Dict, List, Optional
 
+from ..faults import should_inject
 from ..obs.events import get_journal
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import (SpanContext, activate, current_context,
@@ -59,6 +60,20 @@ class JobTimeout(RuntimeError):
 class ShutdownRequested(RuntimeError):
     """Raised inside a compute step interrupted by pool shutdown; the
     worker re-queues the job instead of failing it."""
+
+
+def _exit_message(child) -> str:
+    """Describe how a child ended, *after* reaping it.
+
+    ``Process.exitcode`` is None until the child has been joined, so
+    reading it straight off the EOF/dead-child detection raced the OS
+    and produced "exited with code None".  A short join first makes the
+    code real (or reports an honest unknown).
+    """
+    child.join(timeout=1.0)
+    if child.exitcode is None:
+        return "worker exited with an unknown status"
+    return f"worker exited with code {child.exitcode}"
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -122,7 +137,7 @@ def compute_in_subprocess(spec: RunSpec, calibration,
                     data = receiver.recv()
                 except EOFError:
                     raise WorkerCrash(
-                        f"worker exited with code {child.exitcode} "
+                        f"{_exit_message(child)} "
                         "before returning a result")
                 child.join()
                 if "error" in data:
@@ -135,7 +150,7 @@ def compute_in_subprocess(spec: RunSpec, calibration,
                 raise ShutdownRequested("pool stopping")
             if not child.is_alive() and not receiver.poll(0):
                 raise WorkerCrash(
-                    f"worker exited with code {child.exitcode} "
+                    f"{_exit_message(child)} "
                     "before returning a result")
             if time.monotonic() > deadline:
                 child.terminate()
@@ -207,6 +222,9 @@ class WorkerPool:
         self._crashes = self.registry.counter(
             "repro_worker_crashes_total", "compute crashes observed "
             "(each triggers at most one retry)")
+        self._expired = self.registry.counter(
+            "repro_jobs_expired_total", "jobs skipped because every "
+            "client's deadline had passed")
         # bounded reservoir replaces the old grow-forever deque; p50/p95
         # stay available at O(1) memory over the server's whole lifetime
         self._job_seconds = self.registry.histogram(
@@ -237,6 +255,14 @@ class WorkerPool:
     @property
     def timeouts(self) -> int:
         return int(self._timeouts.value)
+
+    @property
+    def crashes(self) -> int:
+        return int(self._crashes.value)
+
+    @property
+    def expired(self) -> int:
+        return int(self._expired.value)
 
     @property
     def hits(self) -> Dict[str, int]:
@@ -297,6 +323,8 @@ class WorkerPool:
         while not self._stop.is_set():
             job = self.queue.take(timeout=0.1)
             if job is None:
+                if self.queue.closed:
+                    break            # drained: closed queue, no work left
                 continue
             if self._stop.is_set():
                 self.queue.requeue(job)
@@ -322,6 +350,18 @@ class WorkerPool:
             result, source = cached
             self._cache_hits.labels(layer=source).inc()
             self.queue.complete(job, result, source)
+            return
+        if job.expired:
+            # nobody is waiting any more, and the answer isn't cached —
+            # burning a worker on it would only starve live requests
+            overdue = time.monotonic() - job.deadline_at
+            self._expired.inc()
+            get_journal().emit("job.expired", trace_id=job.trace_id,
+                               overdue_seconds=overdue,
+                               **job.event_fields())
+            self.queue.fail(job, "client deadline expired "
+                            f"{overdue:.1f}s before the job ran; "
+                            "nobody is waiting for this result")
             return
         start = time.perf_counter()
         try:
@@ -350,23 +390,43 @@ class WorkerPool:
         self._sim_cycles.inc(result.cycles)
         self.queue.complete(job, result, "run")
 
+    def _note_crash(self, job: Job, crash: WorkerCrash) -> None:
+        """Count and journal one observed crash (first *and* retry).
+
+        The retry's crash used to escape to the generic failure handler
+        uncounted, so ``repro_worker_crashes_total`` read 1 for a job
+        that crashed twice and the final crash left no ``worker.crash``
+        event — the journal showed a retry into thin air.
+        """
+        self._crashes.inc()
+        get_journal().emit("worker.crash", trace_id=job.trace_id,
+                           attempt=job.attempts, error=str(crash),
+                           traceback=crash.child_traceback,
+                           **job.event_fields())
+
     def _attempt(self, job: Job) -> SimulationResult:
         job.attempts += 1
         try:
+            # injected crashes fire on first attempts only: the retry is
+            # the recovery path under test, and must stay able to recover
+            if job.attempts == 1 and should_inject("worker.crash"):
+                raise WorkerCrash("injected fault: worker.crash")
             return self._compute(job.spec)
         except WorkerCrash as crash:
             if self._stop.is_set():
                 raise ShutdownRequested("pool stopping") from crash
-            self._crashes.inc()
-            get_journal().emit("worker.crash", trace_id=job.trace_id,
-                               error=str(crash),
-                               traceback=crash.child_traceback,
-                               **job.event_fields())
+            self._note_crash(job, crash)
             self._retries.inc()
             job.attempts += 1
             get_journal().emit("job.retry", trace_id=job.trace_id,
                                attempt=job.attempts, **job.event_fields())
-            return self._compute(job.spec)   # one retry, then fail
+            try:
+                return self._compute(job.spec)   # one retry, then fail
+            except WorkerCrash as second:
+                if self._stop.is_set():
+                    raise ShutdownRequested("pool stopping") from second
+                self._note_crash(job, second)
+                raise
 
     def _default_compute(self, spec: RunSpec) -> SimulationResult:
         if self.timeout is None:
@@ -395,6 +455,8 @@ class WorkerPool:
             "cache_hit_ratio": (hit_count / served) if served else 0.0,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "expired": self.expired,
             "p50_seconds": self._job_seconds.percentile(0.50),
             "p95_seconds": self._job_seconds.percentile(0.95),
             "sim_seconds_total": sim_seconds,

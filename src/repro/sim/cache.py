@@ -26,6 +26,7 @@ import os
 from collections import Counter
 from typing import Any, Dict, Optional
 
+from ..faults import corrupt_file, fault_active, should_inject
 from ..pipeline.config import MachineConfig
 from ..pipeline.stats import SimStats
 from ..power.budget import PowerCalibration
@@ -174,7 +175,11 @@ class ResultCache:
     -----
     A corrupt, truncated, or schema-incompatible entry is treated as a
     miss: the file is deleted and the run recomputed.  ``hits``,
-    ``misses``, and ``stores`` count lookups for progress reporting.
+    ``misses``, and ``stores`` count lookups for progress reporting;
+    lookups against a *disabled* cache count as ``disabled_lookups``,
+    not misses, so the hit ratio shown by the CLI and ``/metrics``
+    reflects real cache behaviour instead of reading near-zero whenever
+    ``REPRO_CACHE_DIR`` is unset.
     """
 
     def __init__(self, root: Optional[str] = None) -> None:
@@ -184,6 +189,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.disabled_lookups = 0
 
     @property
     def enabled(self) -> bool:
@@ -196,9 +202,16 @@ class ResultCache:
     def get(self, key: str) -> Optional[SimulationResult]:
         """Stored result for ``key``, or ``None`` on any kind of miss."""
         if not self.enabled:
-            self.misses += 1
+            self.disabled_lookups += 1
             return None
         path = self._path(key)
+        # fault injection: scribble over an existing entry just before
+        # the read, driving the corruption-tolerance path below.  The
+        # ``fault_active`` pre-check keeps cold lookups (no file yet)
+        # out of the site's arrival count.
+        if (fault_active("cache.corrupt") and os.path.exists(path)
+                and should_inject("cache.corrupt")):
+            corrupt_file(path)
         try:
             with open(path) as handle:
                 data = json.load(handle)

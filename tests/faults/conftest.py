@@ -1,0 +1,22 @@
+"""Hermetic fault-injection tests: no inherited fault or obs env."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import configure_faults
+from repro.obs import configure_journal
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    """Each test starts with no fault plan and a clean journal."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_LOG_DIR", raising=False)
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    monkeypatch.delenv("REPRO_STATE_DIR", raising=False)
+    configure_faults(None)
+    configure_journal()
+    yield
+    configure_faults(None)
+    configure_journal()

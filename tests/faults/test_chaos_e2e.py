@@ -1,0 +1,104 @@
+"""Chaos end-to-end: a full grid under stacked faults loses nothing.
+
+The issue's headline acceptance: with worker crashes, dropped HTTP
+requests, spurious queue-full rejections, and corrupted cache entries
+all injected at once, a client-driven grid must still finish every job
+(``jobs_submitted == jobs_done``, zero failed) and produce results
+bit-identical to a fault-free run.
+"""
+
+import pytest
+
+from repro.faults import configure_faults, get_plan
+from repro.service import ServiceClient, ServiceServer, SimulationService
+from repro.service.jobs import make_spec
+from repro.sim import ExperimentRunner, ResultCache
+from repro.sim.parallel import simulate_spec
+
+INSTRUCTIONS = 300
+
+GRID = [(benchmark, policy)
+        for benchmark in ("gzip", "mcf")
+        for policy in ("base", "dcg", "plb-orig")]
+
+
+def _specs():
+    # make_spec resolves the profile-default seed exactly as the server
+    # does, so disk-cache fingerprints line up across both phases
+    return [make_spec(benchmark, policy, instructions=INSTRUCTIONS)
+            for benchmark, policy in GRID]
+
+
+def _signature(results):
+    """Bit-level identity signature for a list of results."""
+    return [(r.benchmark, r.policy, r.cycles, r.ipc, r.base_power,
+             r.average_power, r.total_saving, r.fu_toggles)
+            for r in results]
+
+
+@pytest.fixture(scope="module")
+def reference_signature():
+    """The fault-free truth, computed once in-process."""
+    configure_faults("")
+    calibration = ExperimentRunner(instructions=INSTRUCTIONS,
+                                   cache=ResultCache("")).calibration
+    results = [simulate_spec(spec, calibration) for spec in _specs()]
+    configure_faults(None)
+    return _signature(results)
+
+
+def _serve(cache_root, **kwargs):
+    service = SimulationService(instructions=INSTRUCTIONS, workers=2,
+                                queue_depth=8,
+                                cache=ResultCache(cache_root), **kwargs)
+    server = ServiceServer(service, port=0)
+    server.start_background()
+    return service, server
+
+
+def test_grid_survives_stacked_faults_bit_identical(tmp_path,
+                                                    reference_signature):
+    cache_root = str(tmp_path / "cache")
+
+    # -- phase 1: cold cache, crashes + drops + spurious backpressure --
+    configure_faults("worker.crash:p=0.5,seed=7;http.drop:nth=3;"
+                     "queue.full:nth=5")
+    service, server = _serve(cache_root)
+    try:
+        client = ServiceClient(server.url, retries=5, backoff=0.05,
+                               seed=11)
+        results = client.run_specs(_specs(), timeout=300)
+        assert _signature(results) == reference_signature
+        # zero lost jobs: everything submitted is done, nothing failed
+        counters = service.queue.counters()
+        assert counters["failed"] == 0
+        assert counters["done"] == counters["submitted"]
+        # the chaos was real, not a no-op spec
+        counts = get_plan().counts()
+        assert counts.get("worker.crash", {}).get("injected", 0) >= 1
+        assert counts.get("http.drop", {}).get("injected", 0) >= 1
+        assert service.pool.crashes == service.pool.retries
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    # -- phase 2: warm disk cache, now with cache corruption ----------
+    configure_faults("cache.corrupt:nth=2")
+    service, server = _serve(cache_root)
+    try:
+        client = ServiceClient(server.url, retries=5, backoff=0.05,
+                               seed=12)
+        results = client.run_specs(_specs(), timeout=300)
+        # corrupted entries are detected, dropped, and recomputed —
+        # the answers stay bit-identical either way
+        assert _signature(results) == reference_signature
+        counters = service.queue.counters()
+        assert counters["failed"] == 0
+        assert counters["done"] == counters["submitted"]
+        assert get_plan().counts()["cache.corrupt"]["injected"] >= 1
+    finally:
+        configure_faults(None)
+        server.shutdown()
+        server.server_close()
+        service.stop()

@@ -4,7 +4,8 @@ import threading
 
 import pytest
 
-from repro.service.jobs import (JobQueue, JobState, QueueFull, make_spec,
+from repro.service.jobs import (JobQueue, JobState, QueueClosed,
+                                QueueFull, make_spec,
                                 spec_fingerprint, validate_spec)
 from repro.sim.parallel import RunSpec
 
@@ -190,8 +191,13 @@ def test_close_wakes_blocked_take():
     queue.close()
     thread.join(timeout=5)
     assert results == [None]
-    with pytest.raises(QueueFull, match="shut down"):
+    # closed is a distinct, fatal condition — not QueueFull's
+    # "retry later" (a QueueFull here made clients retry forever
+    # against a dying server)
+    with pytest.raises(QueueClosed, match="shut down"):
         queue.submit(_spec())
+    assert not isinstance(QueueClosed("x"), QueueFull)
+    assert queue.rejected == 0      # closed submissions aren't "rejected"
 
 
 def test_get_and_to_dict():

@@ -100,21 +100,36 @@ def test_crash_is_retried_once(tmp_path):
         pool.stop()
 
 
-def test_double_crash_fails_the_job():
+def test_double_crash_fails_the_job(tmp_path):
+    from repro.obs.events import configure_journal, read_events
+
     def always_crashes(_spec):
         raise WorkerCrash("worker exited with code -11")
 
-    queue, pool, _ = _pool(workers=1, compute=always_crashes)
-    pool.start()
+    journal_path = str(tmp_path / "events.jsonl")
+    configure_journal(path=journal_path)
     try:
-        job = _submit(queue, benchmark="gzip", policy="dcg")
-        assert job.wait(timeout=60)
-        assert job.state is JobState.FAILED
-        assert "code -11" in job.error
-        assert job.attempts == 2
-        assert pool.retries == 1
+        queue, pool, _ = _pool(workers=1, compute=always_crashes)
+        pool.start()
+        try:
+            job = _submit(queue, benchmark="gzip", policy="dcg")
+            assert job.wait(timeout=60)
+            assert job.state is JobState.FAILED
+            assert "code -11" in job.error
+            assert job.attempts == 2
+            assert pool.retries == 1
+            # the retry's crash used to escape uncounted: the metric
+            # read 1 for a twice-crashed job and the second crash left
+            # no worker.crash journal event
+            assert pool.crashes == 2
+            crash_events = [event for event in read_events(journal_path)
+                            if event["kind"] == "worker.crash"]
+            assert len(crash_events) == 2
+            assert [event["attempt"] for event in crash_events] == [1, 2]
+        finally:
+            pool.stop()
     finally:
-        pool.stop()
+        configure_journal()
 
 
 def test_timeout_fails_without_retry():
@@ -147,6 +162,29 @@ def test_unexpected_error_fails_with_type_name():
         assert job.error == "ZeroDivisionError: oops"
     finally:
         pool.stop()
+
+
+def test_dead_child_reports_real_exit_code(monkeypatch):
+    """A child that dies without sending is reported with its actual
+    exit code, not "code None".
+
+    ``Process.exitcode`` is None until the child is joined; the crash
+    paths used to format the message before joining and raced the OS.
+    """
+    import os
+
+    import repro.service.workers as workers_mod
+
+    def dies_without_sending(conn, _spec, _calibration, context=None):
+        conn.close()
+        os._exit(7)
+
+    monkeypatch.setattr(workers_mod, "_child_entry", dies_without_sending)
+    spec = make_spec("gzip", "dcg", instructions=300)
+    with pytest.raises(WorkerCrash) as info:
+        workers_mod.compute_in_subprocess(spec, None, timeout=30.0)
+    assert "code 7" in str(info.value)
+    assert "None" not in str(info.value)
 
 
 def test_subprocess_compute_matches_inline_and_times_out():

@@ -75,6 +75,10 @@ def test_disabled_without_root_or_env(monkeypatch, result):
     assert not cache.enabled
     cache.put("deadbeef", result)          # no-op, no crash
     assert cache.get("deadbeef") is None
+    # a disabled cache can't miss — counting these as misses inflated
+    # the miss count and dragged the reported hit ratio toward zero
+    assert cache.misses == 0
+    assert cache.disabled_lookups == 1
 
 
 def test_empty_root_disables(monkeypatch, tmp_path):
