@@ -209,6 +209,19 @@ class ServiceClient:
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/runs/{job_id}")
 
+    def result_payload(self, job_id: str,
+                       timeout: float = 60.0) -> Dict[str, Any]:
+        """One blocking result poll; the raw ``{"job", "result"}`` payload.
+
+        A single server-side wait window — raises
+        :class:`ServiceTimeout` when it expires.  :meth:`result` wraps
+        this in a re-polling loop; the federation gateway forwards the
+        payload verbatim.
+        """
+        return self._request(
+            "GET", f"/v1/runs/{job_id}/result?timeout={timeout:.3f}",
+            timeout=timeout + self.timeout)
+
     def result(self, job_id: str,
                timeout: float = 300.0) -> SimulationResult:
         """Block until ``job_id`` finishes; its decoded result.
@@ -224,9 +237,7 @@ class ServiceClient:
                     f"job {job_id} produced no result in {timeout:.0f}s")
             window = min(30.0, remaining)
             try:
-                reply = self._request(
-                    "GET", f"/v1/runs/{job_id}/result?timeout={window:.3f}",
-                    timeout=window + self.timeout)
+                reply = self.result_payload(job_id, timeout=window)
             except ServiceTimeout:
                 continue                     # server-side wait expired
             return result_from_dict(reply["result"])
@@ -301,7 +312,13 @@ class ServiceClient:
                         deadline: float) -> SimulationResult:
         """One job's result, resubmitting on 404 after a server restart."""
         while True:
-            budget = max(1.0, deadline - time.monotonic())
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                # an already-passed deadline used to be clamped to a 1 s
+                # floor, so a timed-out batch kept blocking one second
+                # per job instead of failing promptly
+                raise ServiceTimeout(
+                    f"job {job_id}: batch deadline already passed")
             try:
                 return self.result(job_id, timeout=budget)
             except ServiceError as exc:

@@ -82,8 +82,13 @@ class SimulationService:
                  timeout: Optional[float] = None,
                  compute=None,
                  degraded_after: float = 30.0,
-                 state_dir: Optional[str] = None) -> None:
+                 state_dir: Optional[str] = None,
+                 shard_id: Optional[str] = None) -> None:
         self.registry = MetricsRegistry()
+        #: federation label (``repro serve --shard-of``); surfaces in
+        #: /healthz and journal events so a multi-node trace names the
+        #: shard that did the work
+        self.shard_id = shard_id
         self.runner = ExperimentRunner(instructions=instructions,
                                        calibration=calibration, cache=cache)
         if state_dir is None:
@@ -112,16 +117,24 @@ class SimulationService:
         # injected-fault counts scrape alongside everything else
         get_plan().bind(self.registry)
         self.degraded_after = degraded_after
+        # wall-clock is display-only; uptime (and any rate derived from
+        # it) anchors on the monotonic clock so an NTP step can't skew it
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self.registry.gauge("repro_service_uptime_seconds",
                             "seconds since the service started",
-                            fn=lambda: time.time() - self.started_at)
+                            fn=lambda: self.uptime_seconds)
         self.registry.gauge("repro_service_workers",
                             "configured worker threads",
                             fn=lambda: self.pool.workers)
         self.registry.gauge("repro_jobs_running",
                             "jobs currently being computed",
                             fn=lambda: self.queue.running)
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since construction (NTP-step immune)."""
+        return time.monotonic() - self._started_monotonic
 
     # -- lifecycle --------------------------------------------------------
 
@@ -184,7 +197,8 @@ class SimulationService:
             "queue_max_depth": self.queue.maxsize,
             "running": self.queue.running,
             "workers": self.pool.workers,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": self.uptime_seconds,
+            "started_at": self.started_at,
         }
         data.update(self.queue.counters())
         data.update(self.pool.metrics())
@@ -221,8 +235,11 @@ class SimulationService:
             "alive_workers": self.pool.alive_workers,
             "queue_depth": self.queue.depth,
             "draining": draining,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": self.uptime_seconds,
+            "started_at": self.started_at,
         }
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
         if reasons:
             payload["reasons"] = reasons
         return payload

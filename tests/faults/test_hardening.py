@@ -8,7 +8,7 @@ import pytest
 
 from repro.service import (BackpressureError, JobFailed, ServiceClient,
                            ServiceClosed, ServiceError, ServiceServer,
-                           SimulationService)
+                           ServiceTimeout, SimulationService)
 from repro.sim import ResultCache
 from repro.sim.parallel import RunSpec, simulate_spec
 
@@ -234,8 +234,9 @@ def test_collect_result_resubmits_after_404(tmp_path):
         deadline = time.monotonic() + 120
         result = client._collect_result("feedfacecafe", field, deadline)
         assert result.benchmark == "gzip"
-        # an unknown id past the deadline still raises
-        with pytest.raises(ServiceError, match="no such job"):
+        # past the deadline it fails promptly — no resubmit loop, no
+        # network wait (the old clamp blocked >= 1 s per job here)
+        with pytest.raises(ServiceTimeout, match="deadline already"):
             client._collect_result("feedfacecafe", field,
                                    time.monotonic() - 1)
     finally:
