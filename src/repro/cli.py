@@ -43,6 +43,7 @@ from .analysis.report import write_experiments_md
 from .power import BlockPowers
 from .sim import (ExperimentRunner, Simulator, baseline_config,
                   deep_pipeline_config, default_jobs)
+from .sim.simulator import BACKENDS, BACKEND_ENV_VAR
 from .sim.parallel import RunReport
 from .workloads import ALL_BENCHMARKS, SPEC2000
 
@@ -86,6 +87,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_JOBS or 1)")
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="cycle-core implementation (default: "
+                             "$REPRO_BACKEND or 'object'); exported to "
+                             "the environment so worker processes "
+                             "inherit it")
+
+
 def _add_server_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--server", default=None, metavar="URL",
                         help="route cache misses to a shared simulation "
@@ -104,11 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--instructions", type=_positive_int, default=10_000)
     run.add_argument("--deep", action="store_true",
                      help="use the 20-stage machine")
+    _add_backend_flag(run)
 
     compare = sub.add_parser("compare", help="all policies on one benchmark")
     compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
     compare.add_argument("--instructions", type=_positive_int,
                          default=10_000)
+    _add_backend_flag(compare)
     _add_jobs_flag(compare)
     _add_server_flag(compare)
 
@@ -142,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "benchmarks/perf/BENCH_<tag>.json")
     bench_perf.add_argument("--output", default=None, metavar="PATH",
                             help="explicit report path")
+    bench_perf.add_argument("--repeats", type=_positive_int, default=1,
+                            help="time each case N times and keep the "
+                                 "fastest run")
+    _add_backend_flag(bench_perf)
     bench_perf.add_argument("--profile", action="store_true",
                             help="cProfile one case and print the hottest "
                                  "functions instead of timing the matrix "
@@ -400,7 +415,8 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     report = perf_bench.run_bench(instructions=instructions, tag=args.tag,
-                                  progress=progress)
+                                  progress=progress,
+                                  repeats=args.repeats)
     output = args.output
     if output is None:
         os.makedirs(os.path.join("benchmarks", "perf"), exist_ok=True)
@@ -577,6 +593,11 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        # export rather than thread through call sites: the parallel
+        # runner's worker processes and the service inherit the
+        # environment, so every simulator in the tree picks it up
+        os.environ[BACKEND_ENV_VAR] = args.backend
     if args.command == "events":
         # reading a journal must not append to it
         return _COMMANDS[args.command](args)

@@ -38,10 +38,11 @@ per-cycle work is set arithmetic over small prebuilt sets.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..backend.funits import FU_LATENCY
 from ..pipeline.config import MachineConfig
-from ..pipeline.usage import CycleUsage
+from ..pipeline.usage import CycleUsage, activity_mask_table
 from ..trace.uop import FUClass
 from .interface import CycleConstraints, GateDecision, GatingPolicy
 
@@ -50,7 +51,10 @@ __all__ = ["DCGPolicy"]
 _EXEC_CLASSES = (FUClass.INT_ALU, FUClass.INT_MULT,
                  FUClass.FP_ALU, FUClass.FP_MULT)
 
-_EMPTY_SET: FrozenSet[int] = frozenset()
+#: bitmask-table ceiling: per-class activity tuples are precomputed for
+#: every claimed mask when 2**count stays small; beyond this the verify
+#: path falls back to set comparison
+_TABLE_MAX_UNITS = 12
 
 
 class DCGPolicy(GatingPolicy):
@@ -96,8 +100,10 @@ class DCGPolicy(GatingPolicy):
         self.verify = verify
         if gate_issue_queue:
             self.name = "dcg+iq"
-        self._grant_calendar: Dict[int, Dict[FUClass, Set[int]]] = {}
-        self._prev_gated: Dict[FUClass, FrozenSet[int]] = {}
+        self._grant_rings: Dict[FUClass, List[int]] = {}
+        self._ring_mask = 0
+        self._pop_cycle: Optional[int] = None
+        self._prev_gated_bits: Dict[FUClass, int] = {}
         self.toggle_count = 0
 
     def bind(self, config: MachineConfig) -> None:
@@ -105,14 +111,32 @@ class DCGPolicy(GatingPolicy):
         if self.store_policy == "delayed":
             self._full_machine_constraints.store_extra_delay = 1
         self._issue_to_execute = config.depth.issue_to_execute
-        self._grant_calendar.clear()
-        # per-class (class, count, all-indices) rows, fixed for the run
-        self._unit_rows: Tuple[Tuple[FUClass, int, FrozenSet[int]], ...] = \
-            tuple((cls, config.fu_counts.get(cls, 0),
-                   frozenset(range(config.fu_counts.get(cls, 0))))
-                  for cls in _EXEC_CLASSES)
-        self._prev_gated = {cls: indices
-                            for cls, _count, indices in self._unit_rows}
+        # the grant calendar is a per-class ring of claimed-unit bitmasks
+        # indexed by ``cycle & mask``: a grant at issue cycle X with
+        # latency L sets its unit's bit over [X + issue_to_execute,
+        # X + issue_to_execute + L - 1], and each observed cycle pops
+        # (reads and zeroes) its slot.  The ring only has to out-span
+        # the farthest write, issue_to_execute plus the longest FU
+        # occupancy, so slots never collide.
+        horizon = self._issue_to_execute + max(
+            spec.latency for spec in FU_LATENCY.values()) + 1
+        size = 1
+        while size < horizon:
+            size *= 2
+        self._ring_mask = size - 1
+        self._grant_rings = {cls: [0] * size for cls in _EXEC_CLASSES}
+        self._pop_cycle = None
+        # per-class (class, count, full-mask, ring, activity-table) rows,
+        # fixed for the run; activity-table[claimed_bits] is the exact
+        # fu_active tuple the pipeline must report for that prediction
+        self._unit_rows = tuple(
+            (cls, count, (1 << count) - 1, self._grant_rings[cls],
+             activity_mask_table(count)
+             if count <= _TABLE_MAX_UNITS else None)
+            for cls, count in ((cls, config.fu_counts.get(cls, 0))
+                               for cls in _EXEC_CLASSES))
+        self._prev_gated_bits = {cls: full
+                                 for cls, _n, full, _r, _t in self._unit_rows}
         # gated latch stages as (stage name, slot capacity), §3.2
         depth = config.depth
         width = config.issue_width
@@ -142,50 +166,77 @@ class DCGPolicy(GatingPolicy):
         # record this cycle's GRANTs into the calendar: a grant at issue
         # cycle X with occupancy L keeps its unit ungated over
         # [X + issue_to_execute, X + issue_to_execute + L - 1]
+        rmask = self._ring_mask
         grants = usage.grants
         if grants:
-            calendar = self._grant_calendar
+            rings = self._grant_rings
             start = cycle + self._issue_to_execute
             for fu_class, index, latency in grants:
+                ring = rings[fu_class]
+                bit = 1 << index
                 for cc in range(start, start + latency):
-                    slot = calendar.get(cc)
-                    if slot is None:
-                        slot = calendar[cc] = {}
-                    claimed = slot.get(fu_class)
-                    if claimed is None:
-                        slot[fu_class] = {index}
-                    else:
-                        claimed.add(index)
+                    ring[cc & rmask] |= bit
+
+        # a dict calendar silently never pops entries for skipped cycles;
+        # a ring must zero those slots or they alias later cycles.  Only
+        # hand-driven unit tests observe non-contiguous cycles, so this
+        # stays off the hot path.
+        prev_cycle = self._pop_cycle
+        self._pop_cycle = cycle
+        if prev_cycle is not None and cycle > prev_cycle + 1:
+            skipped = (range(prev_cycle + 1, cycle)
+                       if cycle - prev_cycle - 1 <= rmask
+                       else range(rmask + 1))
+            for _cls, _n, _full, ring, _t in self._unit_rows:
+                for cc in skipped:
+                    ring[cc & rmask] = 0
 
         # execution units: gate everything the delayed grants do not claim
-        predicted = self._grant_calendar.pop(cycle, None)
+        ridx = cycle & rmask
         if self.gate_units:
             toggles = 0
-            prev_gated = self._prev_gated
+            prev_gated = self._prev_gated_bits
             fu_gated = decision.fu_gated
             fu_active = usage.fu_active
             verify = self.verify
-            for fu_class, count, all_indices in self._unit_rows:
-                claimed = (predicted.get(fu_class, _EMPTY_SET)
-                           if predicted is not None else _EMPTY_SET)
+            for fu_class, count, full_mask, ring, table in self._unit_rows:
+                claimed_bits = ring[ridx]
+                ring[ridx] = 0
                 if verify:
                     mask = fu_active.get(fu_class, ())
-                    if claimed or True in mask:
-                        actual = {i for i, on in enumerate(mask) if on}
-                        if actual != claimed:
-                            raise AssertionError(
-                                f"DCG determinism violated at cycle {cycle}: "
-                                f"{fu_class.name} grants predict "
-                                f"{sorted(claimed)} but units "
-                                f"{sorted(actual)} are active")
-                gated = all_indices - claimed if claimed else all_indices
-                fu_gated[fu_class] = count - len(claimed)
-                flips = len(gated ^ prev_gated[fu_class])
+                    # fastest path: the array core's activity tuples come
+                    # from the same shared activity_mask_table, so one
+                    # pointer comparison proves prediction == actual
+                    if table is not None and mask is table[claimed_bits]:
+                        pass
+                    elif claimed_bits or True in mask:
+                        # value comparison for tuples built elsewhere
+                        # (the object core builds them per cycle); fall
+                        # back to set comparison only on mismatch
+                        # (list-typed masks, capacity mismatches)
+                        if table is None or mask != table[claimed_bits]:
+                            actual = {i for i, on in enumerate(mask) if on}
+                            claimed = {i for i in range(count)
+                                       if claimed_bits >> i & 1}
+                            if actual != claimed:
+                                raise AssertionError(
+                                    f"DCG determinism violated at cycle "
+                                    f"{cycle}: {fu_class.name} grants "
+                                    f"predict {sorted(claimed)} but units "
+                                    f"{sorted(actual)} are active")
+                gated = full_mask & ~claimed_bits
+                fu_gated[fu_class] = count - claimed_bits.bit_count()
+                flips = (gated ^ prev_gated[fu_class]).bit_count()
                 if flips:
                     decision.fu_toggles[fu_class] = flips
                     toggles += flips
                 prev_gated[fu_class] = gated
             self.toggle_count += toggles
+        else:
+            # the dict calendar popped its cycle slot even with unit
+            # gating off; the ring equivalent is zeroing the slots
+            for _cls, _n, _full, ring, _t in self._unit_rows:
+                ring[ridx] = 0
 
         # pipeline latches: per gated stage, width*segments minus the
         # slots the delayed one-hot encodings mark as occupied

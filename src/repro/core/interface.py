@@ -112,6 +112,12 @@ class GatingPolicy:
 
     name = "base"
 
+    #: True when :meth:`constraints` returns the same object for every
+    #: cycle — the pipeline may then fetch it once and skip the
+    #: per-cycle call.  Policies with time-varying constraints (PLB's
+    #: issue modes) must set this False.
+    constraints_static = True
+
     def bind(self, config: MachineConfig) -> None:
         """Attach the machine configuration before simulation starts."""
         self.config = config

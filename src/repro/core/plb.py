@@ -156,6 +156,8 @@ class PLBPolicy(GatingPolicy):
         Threshold/hysteresis configuration.
     """
 
+    constraints_static = False      # per-mode resource restrictions
+
     def __init__(self, extended: bool = False,
                  triggers: PLBTriggerConfig = PLBTriggerConfig()) -> None:
         self.extended = extended

@@ -29,6 +29,7 @@ import math
 import random
 import re
 import threading
+import zlib
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -234,7 +235,9 @@ class Histogram(_Metric):
         self.reservoir_size = reservoir_size
         self.quantiles = quantiles
         self._samples: List[float] = []
-        self._rng = random.Random(0x5EED ^ hash(name) & 0xFFFFFFFF)
+        # crc32, not hash(): str hashing is per-process randomised, so
+        # the promised "reproducible runs" only held within one process
+        self._rng = random.Random(0x5EED ^ zlib.crc32(name.encode()))
         self._count = 0
         self._sum = 0.0
         self._min = math.inf

@@ -506,12 +506,6 @@ class Pipeline:
         usage.issued_stores += 1
         return True
 
-    def _record_fu_activity(self, fu_class: FUClass, index: int,
-                            start: int, latency: int) -> None:
-        for cc in range(start, start + latency):
-            per_cycle = self._fu_activity.setdefault(cc, {})
-            per_cycle.setdefault(fu_class, set()).add(index)
-
     # ------------------------------------------------------------------
     # dispatch (rename -> window)
     # ------------------------------------------------------------------

@@ -14,11 +14,26 @@ policies, and the accountant spend their time on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from ..trace.uop import FUClass
 
-__all__ = ["CycleUsage", "UsageTotals"]
+__all__ = ["CycleUsage", "UsageTotals", "activity_mask_table"]
+
+
+@lru_cache(maxsize=None)
+def activity_mask_table(count: int) -> Tuple[Tuple[bool, ...], ...]:
+    """All per-instance activity tuples for a ``count``-unit FU class,
+    indexed by occupancy bitmask (bit ``i`` = instance ``i`` active).
+
+    Cached so every consumer — the array core emitting ``fu_active``
+    and DCG's verify cross-check — shares the *same* tuple objects,
+    which lets consumers prove equality with an identity check.
+    """
+    return tuple(
+        tuple(bool(bits >> i & 1) for i in range(count))
+        for bits in range(1 << count))
 
 
 class CycleUsage:
@@ -98,18 +113,34 @@ class UsageTotals:
         self.result_bus_cycles = 0
         self.fetch_stall_cycles = 0
 
-    def add(self, usage: CycleUsage) -> None:
+    def add(self, usage: CycleUsage,
+            fu_counts: Optional[List[Tuple[FUClass, int, int]]] = None
+            ) -> None:
+        """Fold one cycle into the running sums.
+
+        ``fu_counts`` is an optional list of ``(fu_class, active,
+        capacity)`` rows matching ``usage.fu_active`` exactly — the
+        array core passes it because it already knows the per-class
+        popcounts, saving this hot path from re-summing bool tuples.
+        """
         self.cycles += 1
         self.issued += usage.issued
         self.committed += usage.committed
         self.fetched += usage.fetched
         active_cycles = self.fu_active_cycles
         capacity_cycles = self.fu_capacity_cycles
-        for fu_class, mask in usage.fu_active.items():
-            active_cycles[fu_class] = (
-                active_cycles.get(fu_class, 0) + sum(mask))
-            capacity_cycles[fu_class] = (
-                capacity_cycles.get(fu_class, 0) + len(mask))
+        if fu_counts is None:
+            for fu_class, mask in usage.fu_active.items():
+                active_cycles[fu_class] = (
+                    active_cycles.get(fu_class, 0) + sum(mask))
+                capacity_cycles[fu_class] = (
+                    capacity_cycles.get(fu_class, 0) + len(mask))
+        else:
+            for fu_class, active, capacity in fu_counts:
+                active_cycles[fu_class] = (
+                    active_cycles.get(fu_class, 0) + active)
+                capacity_cycles[fu_class] = (
+                    capacity_cycles.get(fu_class, 0) + capacity)
         slot_cycles = self.latch_slot_cycles
         for stage, slots in usage.latch_slots.items():
             slot_cycles[stage] = slot_cycles.get(stage, 0) + slots

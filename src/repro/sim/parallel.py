@@ -68,9 +68,10 @@ class RunReport:
 
     @property
     def instructions_per_second(self) -> float:
-        if self.seconds <= 0.0:
-            return 0.0
-        return self.spec.instructions / self.seconds
+        # cache hits can report sub-resolution timings; clamp to the
+        # timer's practical resolution (as bench/perf.py does) so a
+        # progress line never claims a misleading "0 instr/s"
+        return self.spec.instructions / max(self.seconds, 1e-9)
 
 
 def default_jobs(default: int = 1) -> int:
@@ -194,6 +195,10 @@ def execute_specs(specs: Sequence[RunSpec],
     a single run, or when the platform cannot start a process pool.
     """
     specs = list(specs)
+    # resolve the default once, up front, so the serial loop and the
+    # pool workers build simulators from the same calibration object —
+    # previously only the pool path substituted the default
+    calibration = calibration or PowerCalibration()
     if jobs <= 1 or len(specs) <= 1:
         return _execute_serial(specs, calibration, progress)
     try:
@@ -203,7 +208,7 @@ def execute_specs(specs: Sequence[RunSpec],
             initializer=_init_worker,
             # the active span context rides along so worker-side journal
             # events join the caller's trace
-            initargs=(calibration or PowerCalibration(), current_context()))
+            initargs=(calibration, current_context()))
     except (ImportError, OSError, ValueError):
         return _execute_serial(specs, calibration, progress)
     results: List[Optional[SimulationResult]] = [None] * len(specs)

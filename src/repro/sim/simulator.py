@@ -8,12 +8,14 @@ everything §5's figures are computed from.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Union
 
 from ..core.dcg import DCGPolicy
 from ..core.interface import GatingPolicy, NoGatingPolicy
 from ..core.plb import PLBPolicy
+from ..pipeline.arraycore import ArrayPipeline
 from ..pipeline.config import MachineConfig
 from ..pipeline.core import Pipeline
 from ..pipeline.stats import SimStats
@@ -26,7 +28,27 @@ from ..workloads.synthetic import SyntheticTraceGenerator
 from .configs import baseline_config, default_instructions
 
 __all__ = ["SimulationResult", "Simulator", "make_policy",
-           "BUILTIN_POLICIES"]
+           "BUILTIN_POLICIES", "BACKENDS", "BACKEND_ENV_VAR",
+           "resolve_backend"]
+
+#: cycle-core implementations the facade can run; both are bit-identical
+#: (pinned by the golden invariance and cross-backend equivalence tests)
+BACKENDS = ("object", "array")
+
+#: environment override consulted when no explicit backend is passed —
+#: an env var (rather than, say, a config field) so worker processes
+#: spawned by the parallel runner and the service inherit it for free
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Pick the cycle-core backend: explicit argument, then the
+    ``REPRO_BACKEND`` environment variable, then ``object``."""
+    name = backend or os.environ.get(BACKEND_ENV_VAR) or "object"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKENDS}")
+    return name
 
 #: policy names :func:`make_policy` understands; these are reserved as
 #: cache keys and may not be rebound to custom policy factories
@@ -94,13 +116,19 @@ class Simulator:
         Machine configuration; Table 1 baseline by default.
     calibration:
         Power-model calibration; Wattch-era defaults.
+    backend:
+        Cycle-core implementation: ``object`` (InflightOp records) or
+        ``array`` (struct-of-arrays, same results, faster).  ``None``
+        defers to the ``REPRO_BACKEND`` environment variable.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None,
-                 calibration: Optional[PowerCalibration] = None) -> None:
+                 calibration: Optional[PowerCalibration] = None,
+                 backend: Optional[str] = None) -> None:
         self.config = config or baseline_config()
         self.calibration = calibration or PowerCalibration()
         self.blocks = BlockPowers(self.config, self.calibration)
+        self.backend = resolve_backend(backend)
 
     def run_benchmark(self, benchmark: Union[str, BenchmarkProfile],
                       policy: Union[str, GatingPolicy] = "base",
@@ -139,7 +167,8 @@ class Simulator:
              prewarm_source: Optional[SyntheticTraceGenerator] = None,
              observers: Optional[Iterable] = None) -> SimulationResult:
         policy_obj = make_policy(policy) if isinstance(policy, str) else policy
-        pipeline = Pipeline(self.config, stream, policy_obj)
+        core = ArrayPipeline if self.backend == "array" else Pipeline
+        pipeline = core(self.config, stream, policy_obj)
         if prewarm_source is not None:
             prewarm_source.prewarm(pipeline.hierarchy)
         accountant = PowerAccountant(self.blocks)

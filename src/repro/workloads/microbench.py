@@ -8,6 +8,7 @@ experiment harnesses iterate ``SPEC2000`` and must not pick these up.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict
 
 from ..trace.uop import OpClass
@@ -20,7 +21,11 @@ def _mb(name: str, mix: Dict[OpClass, float], branch: float,
         **kw) -> BenchmarkProfile:
     total = sum(mix.values())
     scaled = {cls: frac * (1.0 - branch) / total for cls, frac in mix.items()}
-    kw.setdefault("seed", hash(name) % 100_000)
+    # crc32, NOT hash(): str hashing is randomised per process
+    # (PYTHONHASHSEED), which made every microbenchmark trace — and
+    # therefore its simulated cycles — differ from one interpreter to
+    # the next
+    kw.setdefault("seed", zlib.crc32(name.encode("ascii")) % 100_000)
     return BenchmarkProfile(name=name, suite=kw.pop("suite", "int"),
                             mix=scaled, branch_fraction=branch, **kw)
 

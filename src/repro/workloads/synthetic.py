@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from itertools import accumulate
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..trace.uop import MicroOp, OpClass
+from ..trace.uop import _CLASS_FLAGS, MicroOp, OpClass
 from .profiles import BenchmarkProfile
 
 __all__ = ["SyntheticTraceGenerator", "generate_trace"]
@@ -172,115 +172,6 @@ class SyntheticTraceGenerator:
             self._int_rr += 1
         return reg
 
-    # -- memory addresses --------------------------------------------------------
-
-    def _mem_address(self) -> int:
-        p = self.profile
-        roll = self._rng.random()
-        if roll < p.hot_fraction:
-            words = p.hot_bytes // _WORD
-            return _HOT_BASE + _WORD * self._rng.randrange(words)
-        if roll < p.hot_fraction + p.warm_fraction:
-            words = p.warm_bytes // _WORD
-            return _WARM_BASE + _WORD * self._rng.randrange(words)
-        # cold: stream one cache line per access so every cold access is
-        # a compulsory miss all the way to memory
-        addr = self._cold_ptr
-        self._cold_ptr += _LINE_BYTES
-        return addr
-
-    # -- micro-op emission ----------------------------------------------------------
-
-    def _emit(self, pc: int, op_class: OpClass, srcs: Tuple[int, ...],
-              dest: Optional[int], mem_addr: Optional[int] = None,
-              taken: bool = False, target: Optional[int] = None) -> MicroOp:
-        uop = MicroOp(self._seq, pc, op_class, srcs=srcs, dest=dest,
-                      mem_addr=mem_addr, taken=taken, target=target)
-        self._seq += 1
-        return uop
-
-    def _body_op(self, pc: int) -> MicroOp:
-        op_class = self._mix_classes[bisect_right(
-            self._mix_cum, self._rng.random() * self._mix_total,
-            0, self._mix_hi)]
-        if op_class is OpClass.LOAD:
-            return self._load(pc)
-        if op_class is OpClass.STORE:
-            return self._store(pc)
-        fp = op_class in (OpClass.FPALU, OpClass.FPMUL, OpClass.FPDIV)
-        recent = self._recent_fp if fp else self._recent_int
-        pool = _FP_POOL if fp else _INT_POOL
-        srcs = (self._producer(recent, pool), self._producer(recent, pool))
-        dest = self._next_dest(fp)
-        self._note_write(dest, fp)
-        return self._emit(pc, op_class, srcs, dest)
-
-    def _load(self, pc: int) -> MicroOp:
-        fp_dest = self.profile.is_fp and self._rng.random() < 0.55
-        if self._chase_next_load and self._last_load_dest is not None:
-            addr_reg = self._last_load_dest
-        else:
-            addr_reg = self._producer(self._recent_int, _INT_POOL)
-        dest = self._next_dest(fp_dest)
-        addr = self._mem_address()
-        uop = self._emit(pc, OpClass.LOAD, (addr_reg,), dest, mem_addr=addr)
-        if not fp_dest:
-            self._last_load_dest = dest
-            self._note_write(dest, False)
-        else:
-            self._note_write(dest, True)
-        self._chase_next_load = (
-            self._rng.random() < self.profile.pointer_chase_fraction)
-        return uop
-
-    def _store(self, pc: int) -> MicroOp:
-        addr_reg = self._producer(self._recent_int, _INT_POOL)
-        fp_data = self.profile.is_fp and self._rng.random() < 0.5
-        data_reg = self._producer(
-            self._recent_fp if fp_data else self._recent_int,
-            _FP_POOL if fp_data else _INT_POOL)
-        return self._emit(pc, OpClass.STORE, (addr_reg, data_reg), None,
-                          mem_addr=self._mem_address())
-
-    def _branch_op(self, block: _Block) -> Tuple[MicroOp, int]:
-        """Emit the block-terminating branch; returns (uop, next block index)."""
-        n = len(self._blocks)
-        fall_index = (block.index + 1) % n
-        pc = block.branch_pc
-        if block.kind == "jump":
-            target_block = self._blocks[block.target_index]
-            uop = self._emit(pc, OpClass.BRANCH, (), None, taken=True,
-                             target=target_block.base_pc)
-            return uop, block.target_index
-        if block.kind == "random":
-            taken = self._rng.random() < block.taken_prob
-            # data-dependent branches compare a recent (often load-fed) value
-            srcs = (self._producer(self._recent_int, _INT_POOL),
-                    self._producer(self._recent_int, _INT_POOL))
-            target_block = self._blocks[block.target_index]
-            uop = self._emit(pc, OpClass.BRANCH, srcs, None, taken=taken,
-                             target=target_block.base_pc if taken else None)
-            return uop, (block.target_index if taken else fall_index)
-        # loop back-edge: taken until the per-activation trip count
-        # expires.  Loop branches compare the freshly-incremented trip
-        # counter, which is always ready, so they resolve promptly —
-        # unlike the data-dependent "random" branches above.
-        remaining = self._loop_counters.get(block.index)
-        if remaining is None:
-            mean = max(1.0, self.profile.mean_loop_trip)
-            remaining = 1 + int(self._rng.expovariate(1.0 / mean))
-        remaining -= 1
-        srcs = (self._rng.choice(_INT_STABLE),)
-        if remaining > 0:
-            self._loop_counters[block.index] = remaining
-            target_block = self._blocks[block.target_index]
-            uop = self._emit(pc, OpClass.BRANCH, srcs, None, taken=True,
-                             target=target_block.base_pc)
-            return uop, block.target_index
-        self._loop_counters.pop(block.index, None)
-        uop = self._emit(pc, OpClass.BRANCH, srcs, None, taken=False)
-        return uop, fall_index
-
     # -- public API ------------------------------------------------------------
 
     def prewarm(self, hierarchy) -> None:
@@ -302,14 +193,295 @@ class SyntheticTraceGenerator:
             hierarchy.l2.preload(addr)
 
     def __iter__(self) -> Iterator[MicroOp]:
+        # Emission runs as one fused loop: the per-op helper methods
+        # this used to call (_body_op, _load, _store, _producer, ...)
+        # cost six-plus Python calls per micro-op, which dominated trace
+        # generation.  Every RNG draw below happens in the same order,
+        # through the same Random methods, as the helper version did, so
+        # streams are bit-identical (the golden invariance tests pin
+        # this).  Mutable generator state stays on ``self`` so several
+        # interleaved iterators (PhasedWorkload) keep working.
+        profile = self.profile
+        rng = self._rng
+        rng_random = rng.random
+        rng_choice = rng.choice
+        rng_expovariate = rng.expovariate
+        rng_randrange = rng.randrange
+        blocks = self._blocks
+        mix_classes = self._mix_classes
+        mix_cum = self._mix_cum
+        mix_total = self._mix_total
+        mix_hi = self._mix_hi
+        recent_int = self._recent_int
+        recent_fp = self._recent_fp
+        loop_counters = self._loop_counters
+        indep_frac = profile.independent_src_fraction
+        dep_lambd = 1.0 / max(1.0, profile.dep_mean_distance)
+        trip_lambd = 1.0 / max(1.0, profile.mean_loop_trip)
+        is_fp_profile = profile.is_fp
+        chase_frac = profile.pointer_chase_fraction
+        hot_frac = profile.hot_fraction
+        warm_cut = hot_frac + profile.warm_fraction
+        hot_words = profile.hot_bytes // _WORD
+        warm_words = profile.warm_bytes // _WORD
+        int_pool_len = len(_INT_POOL)
+        fp_pool_len = len(_FP_POOL)
+        fp_body_classes = (OpClass.FPALU, OpClass.FPMUL, OpClass.FPDIV)
+        load_cls, store_cls = OpClass.LOAD, OpClass.STORE
+        branch_cls = OpClass.BRANCH
+        # trusted construction for the high-volume op kinds: the fields
+        # below satisfy MicroOp.__init__'s invariants by construction
+        # (srcs already tuples, loads/stores always carry an address),
+        # so the body sites bypass the validating constructor and assign
+        # slots directly — identical attribute values, no call overhead
+        uop_new = MicroOp.__new__
+        load_flags = _CLASS_FLAGS[load_cls]
+        store_flags = _CLASS_FLAGS[store_cls]
+        branch_flags = _CLASS_FLAGS[branch_cls]
+
         index = 0
         while True:
-            block = self._blocks[index]
+            block = blocks[index]
             pc = block.base_pc
             for _ in range(block.body_len):
-                yield self._body_op(pc)
+                op_class = mix_classes[bisect_right(
+                    mix_cum, rng_random() * mix_total, 0, mix_hi)]
+                if op_class is load_cls:
+                    fp_dest = is_fp_profile and rng_random() < 0.55
+                    if (self._chase_next_load
+                            and self._last_load_dest is not None):
+                        addr_reg = self._last_load_dest
+                    elif rng_random() < indep_frac:
+                        addr_reg = rng_choice(_INT_STABLE)
+                    elif not recent_int:
+                        addr_reg = rng_choice(_INT_POOL)
+                    else:
+                        distance = 1 + int(rng_expovariate(dep_lambd))
+                        if distance > len(recent_int):
+                            distance = len(recent_int)
+                        addr_reg = recent_int[-distance]
+                    if fp_dest:
+                        dest = _FP_POOL[self._fp_rr % fp_pool_len]
+                        self._fp_rr += 1
+                    else:
+                        dest = _INT_POOL[self._int_rr % int_pool_len]
+                        self._int_rr += 1
+                    roll = rng_random()
+                    if roll < hot_frac:
+                        addr = _HOT_BASE + _WORD * rng_randrange(hot_words)
+                    elif roll < warm_cut:
+                        addr = _WARM_BASE + _WORD * rng_randrange(warm_words)
+                    else:
+                        # cold: stream one cache line per access so every
+                        # cold access misses all the way to memory
+                        addr = self._cold_ptr
+                        self._cold_ptr = addr + _LINE_BYTES
+                    uop = uop_new(MicroOp)
+                    uop.seq = self._seq
+                    uop.pc = pc
+                    uop.op_class = load_cls
+                    uop.srcs = (addr_reg,)
+                    uop.dest = dest
+                    uop.mem_addr = addr
+                    uop.taken = False
+                    uop.target = None
+                    (uop.fu_class, uop.is_load, uop.is_store, uop.is_mem,
+                     uop.is_branch, uop.is_fp, uop.is_int) = load_flags
+                    self._seq += 1
+                    if fp_dest:
+                        recent_fp.append(dest)
+                        if len(recent_fp) > 64:
+                            del recent_fp[0]
+                    else:
+                        self._last_load_dest = dest
+                        recent_int.append(dest)
+                        if len(recent_int) > 64:
+                            del recent_int[0]
+                    self._chase_next_load = rng_random() < chase_frac
+                elif op_class is store_cls:
+                    if rng_random() < indep_frac:
+                        addr_reg = rng_choice(_INT_STABLE)
+                    elif not recent_int:
+                        addr_reg = rng_choice(_INT_POOL)
+                    else:
+                        distance = 1 + int(rng_expovariate(dep_lambd))
+                        if distance > len(recent_int):
+                            distance = len(recent_int)
+                        addr_reg = recent_int[-distance]
+                    fp_data = is_fp_profile and rng_random() < 0.5
+                    if fp_data:
+                        recent, pool, stable = (
+                            recent_fp, _FP_POOL, _FP_STABLE)
+                    else:
+                        recent, pool, stable = (
+                            recent_int, _INT_POOL, _INT_STABLE)
+                    if rng_random() < indep_frac:
+                        data_reg = rng_choice(stable)
+                    elif not recent:
+                        data_reg = rng_choice(pool)
+                    else:
+                        distance = 1 + int(rng_expovariate(dep_lambd))
+                        if distance > len(recent):
+                            distance = len(recent)
+                        data_reg = recent[-distance]
+                    roll = rng_random()
+                    if roll < hot_frac:
+                        addr = _HOT_BASE + _WORD * rng_randrange(hot_words)
+                    elif roll < warm_cut:
+                        addr = _WARM_BASE + _WORD * rng_randrange(warm_words)
+                    else:
+                        addr = self._cold_ptr
+                        self._cold_ptr = addr + _LINE_BYTES
+                    uop = uop_new(MicroOp)
+                    uop.seq = self._seq
+                    uop.pc = pc
+                    uop.op_class = store_cls
+                    uop.srcs = (addr_reg, data_reg)
+                    uop.dest = None
+                    uop.mem_addr = addr
+                    uop.taken = False
+                    uop.target = None
+                    (uop.fu_class, uop.is_load, uop.is_store, uop.is_mem,
+                     uop.is_branch, uop.is_fp, uop.is_int) = store_flags
+                    self._seq += 1
+                else:
+                    if op_class in fp_body_classes:
+                        recent, pool, stable = (
+                            recent_fp, _FP_POOL, _FP_STABLE)
+                        fp = True
+                    else:
+                        recent, pool, stable = (
+                            recent_int, _INT_POOL, _INT_STABLE)
+                        fp = False
+                    if rng_random() < indep_frac:
+                        src_a = rng_choice(stable)
+                    elif not recent:
+                        src_a = rng_choice(pool)
+                    else:
+                        distance = 1 + int(rng_expovariate(dep_lambd))
+                        if distance > len(recent):
+                            distance = len(recent)
+                        src_a = recent[-distance]
+                    if rng_random() < indep_frac:
+                        src_b = rng_choice(stable)
+                    elif not recent:
+                        src_b = rng_choice(pool)
+                    else:
+                        distance = 1 + int(rng_expovariate(dep_lambd))
+                        if distance > len(recent):
+                            distance = len(recent)
+                        src_b = recent[-distance]
+                    if fp:
+                        dest = _FP_POOL[self._fp_rr % fp_pool_len]
+                        self._fp_rr += 1
+                    else:
+                        dest = _INT_POOL[self._int_rr % int_pool_len]
+                        self._int_rr += 1
+                    recent.append(dest)
+                    if len(recent) > 64:
+                        del recent[0]
+                    uop = uop_new(MicroOp)
+                    uop.seq = self._seq
+                    uop.pc = pc
+                    uop.op_class = op_class
+                    uop.srcs = (src_a, src_b)
+                    uop.dest = dest
+                    uop.mem_addr = None
+                    uop.taken = False
+                    uop.target = None
+                    (uop.fu_class, uop.is_load, uop.is_store, uop.is_mem,
+                     uop.is_branch, uop.is_fp, uop.is_int) = \
+                        _CLASS_FLAGS[op_class]
+                    self._seq += 1
+                yield uop
                 pc += 4
-            uop, index = self._branch_op(block)
+
+            # block-terminating branch
+            fall_index = (block.index + 1) % len(blocks)
+            pc = block.branch_pc
+            kind = block.kind
+            if kind == "jump":
+                uop = uop_new(MicroOp)
+                uop.seq = self._seq
+                uop.pc = pc
+                uop.op_class = branch_cls
+                uop.srcs = ()
+                uop.dest = None
+                uop.mem_addr = None
+                uop.taken = True
+                uop.target = blocks[block.target_index].base_pc
+                (uop.fu_class, uop.is_load, uop.is_store, uop.is_mem,
+                 uop.is_branch, uop.is_fp, uop.is_int) = branch_flags
+                self._seq += 1
+                index = block.target_index
+            elif kind == "random":
+                taken = rng_random() < block.taken_prob
+                # data-dependent branches compare a recent (often
+                # load-fed) value
+                if rng_random() < indep_frac:
+                    src_a = rng_choice(_INT_STABLE)
+                elif not recent_int:
+                    src_a = rng_choice(_INT_POOL)
+                else:
+                    distance = 1 + int(rng_expovariate(dep_lambd))
+                    if distance > len(recent_int):
+                        distance = len(recent_int)
+                    src_a = recent_int[-distance]
+                if rng_random() < indep_frac:
+                    src_b = rng_choice(_INT_STABLE)
+                elif not recent_int:
+                    src_b = rng_choice(_INT_POOL)
+                else:
+                    distance = 1 + int(rng_expovariate(dep_lambd))
+                    if distance > len(recent_int):
+                        distance = len(recent_int)
+                    src_b = recent_int[-distance]
+                uop = uop_new(MicroOp)
+                uop.seq = self._seq
+                uop.pc = pc
+                uop.op_class = branch_cls
+                uop.srcs = (src_a, src_b)
+                uop.dest = None
+                uop.mem_addr = None
+                uop.taken = taken
+                uop.target = (blocks[block.target_index].base_pc
+                              if taken else None)
+                (uop.fu_class, uop.is_load, uop.is_store, uop.is_mem,
+                 uop.is_branch, uop.is_fp, uop.is_int) = branch_flags
+                self._seq += 1
+                index = block.target_index if taken else fall_index
+            else:
+                # loop back-edge: taken until the per-activation trip
+                # count expires.  Loop branches compare the freshly-
+                # incremented trip counter, which is always ready, so
+                # they resolve promptly — unlike the data-dependent
+                # "random" branches above.
+                remaining = loop_counters.get(block.index)
+                if remaining is None:
+                    remaining = 1 + int(rng_expovariate(trip_lambd))
+                remaining -= 1
+                srcs = (rng_choice(_INT_STABLE),)
+                uop = uop_new(MicroOp)
+                uop.seq = self._seq
+                uop.pc = pc
+                uop.op_class = branch_cls
+                uop.srcs = srcs
+                uop.dest = None
+                uop.mem_addr = None
+                (uop.fu_class, uop.is_load, uop.is_store, uop.is_mem,
+                 uop.is_branch, uop.is_fp, uop.is_int) = branch_flags
+                if remaining > 0:
+                    loop_counters[block.index] = remaining
+                    uop.taken = True
+                    uop.target = blocks[block.target_index].base_pc
+                    self._seq += 1
+                    index = block.target_index
+                else:
+                    loop_counters.pop(block.index, None)
+                    uop.taken = False
+                    uop.target = None
+                    self._seq += 1
+                    index = fall_index
             yield uop
 
 

@@ -22,6 +22,10 @@ def test_report_shape(report):
     assert report["schema_version"] == SCHEMA_VERSION
     assert report["tag"] == "test"
     assert report["instructions_per_case"] == TINY
+    # the harness inherits REPRO_BACKEND (CI's array leg sets it)
+    from repro.sim.simulator import resolve_backend
+    assert report["backend"] == resolve_backend()
+    assert report["repeats"] == 1
     assert len(report["results"]) == len(DEFAULT_CASES)
     labels = [(r["benchmark"], r["policy"]) for r in report["results"]]
     assert labels == [(c.benchmark, c.policy) for c in DEFAULT_CASES]
@@ -58,6 +62,16 @@ def test_rejects_bad_budget_and_empty_cases():
         run_bench(instructions=0)
     with pytest.raises(ValueError):
         run_bench(instructions=TINY, cases=())
+    with pytest.raises(ValueError):
+        run_bench(instructions=TINY, repeats=0)
+
+
+def test_backend_and_repeats_recorded():
+    report = run_bench(instructions=TINY, cases=DEFAULT_CASES[:1],
+                       tag="b", backend="array", repeats=2)
+    assert report["backend"] == "array"
+    assert report["repeats"] == 2
+    validate_report(report)
 
 
 @pytest.mark.parametrize("mutate, message", [
@@ -67,6 +81,11 @@ def test_rejects_bad_budget_and_empty_cases():
     (lambda r: r["results"][0].update(cycles=0), "non-positive"),
     (lambda r: r["results"][0].update(seconds=0.0), "non-positive"),
     (lambda r: r["totals"].update(cases=99), "totals"),
+    (lambda r: r.update(instructions_per_case=0), "instructions_per_case"),
+    (lambda r: r.update(instructions_per_case="2k"), "instructions_per_case"),
+    (lambda r: r["totals"].update(cycles=1), "totals.cycles"),
+    (lambda r: r["totals"].update(seconds=1e9), "totals.seconds"),
+    (lambda r: r["totals"].pop("seconds"), "totals.seconds"),
 ])
 def test_validate_rejects_malformed(report, mutate, message):
     broken = copy.deepcopy(report)

@@ -1,0 +1,82 @@
+"""Cross-backend bit-identity: struct-of-arrays core vs object core.
+
+The ``array`` backend is a pure re-layout of the cycle core: for any
+workload, policy, and machine configuration it must produce the same
+:class:`SimulationResult` down to the last float, and the same
+per-cycle usage stream.  These tests pin that equivalence directly;
+the golden invariance suite additionally pins each backend against the
+frozen pre-optimisation reference.
+"""
+
+import pytest
+
+from repro.core import NoGatingPolicy
+from repro.pipeline import MachineConfig, Pipeline
+from repro.pipeline.arraycore import ArrayPipeline
+from repro.pipeline.usage import CycleUsage
+from repro.sim import Simulator
+from repro.sim.cache import result_to_dict
+from repro.trace import TraceStream
+from repro.workloads import SyntheticTraceGenerator, get_profile
+
+#: one case per structurally distinct policy hot path
+CASES = [
+    ("gzip", "base"),
+    ("gzip", "dcg"),
+    ("applu", "dcg-delayed-store"),
+    ("mcf", "plb-ext"),
+]
+
+
+def _result(backend, benchmark, policy, config=None):
+    sim = Simulator(config, backend=backend)
+    return result_to_dict(sim.run_benchmark(benchmark, policy,
+                                            instructions=2000, seed=7))
+
+
+@pytest.mark.parametrize("bench, policy", CASES,
+                         ids=[f"{b}/{p}" for b, p in CASES])
+def test_backends_bit_identical(bench, policy):
+    assert _result("object", bench, policy) == \
+        _result("array", bench, policy)
+
+
+def test_backends_bit_identical_with_wrong_path():
+    config = MachineConfig(model_wrong_path=True)
+    assert _result("object", "gcc", "dcg", config) == \
+        _result("array", "gcc", "dcg", config)
+
+
+def test_backends_bit_identical_with_restricted_buses():
+    # a 2-bus machine keeps _do_complete's overflow spill hot all run
+    config = MachineConfig(result_buses=2)
+    assert _result("object", "gzip", "base", config) == \
+        _result("array", "gzip", "base", config)
+
+
+def _usage_stream(core_cls, config, n=3000):
+    """Every CycleUsage field of every cycle, as comparable values."""
+    generator = SyntheticTraceGenerator(get_profile("gcc"))
+    pipe = core_cls(config, TraceStream(iter(generator), limit=n),
+                    NoGatingPolicy())
+    generator.prewarm(pipe.hierarchy)
+    snapshots = []
+
+    def observe(usage, decision):
+        snapshots.append(tuple(
+            dict(value) if isinstance(value, dict) else value
+            for value in (getattr(usage, name)
+                          for name in CycleUsage.__slots__)))
+
+    pipe.add_observer(observe)
+    pipe.run(max_instructions=n)
+    return snapshots
+
+
+def test_per_cycle_usage_streams_identical():
+    """Lockstep equivalence: under bus pressure *and* wrong-path
+    squashes, both cores must report identical usage every cycle —
+    this pins spill drain order, not just end-of-run totals."""
+    config = MachineConfig(result_buses=2, model_wrong_path=True)
+    assert _usage_stream(Pipeline, config) == \
+        _usage_stream(ArrayPipeline, config)

@@ -28,6 +28,17 @@ def test_parallel_matches_serial():
            [_signature(r) for r in parallel]
 
 
+def test_default_calibration_identical_serial_vs_pool():
+    """With ``calibration`` omitted both paths must resolve the same
+    default up front — historically only the pool substituted one —
+    so jobs=1 and jobs=2 runs are byte-identical."""
+    from repro.sim.cache import result_to_dict
+    serial = execute_specs(_SPECS, calibration=None, jobs=1)
+    pooled = execute_specs(_SPECS, calibration=None, jobs=2)
+    assert [result_to_dict(r) for r in serial] == \
+           [result_to_dict(r) for r in pooled]
+
+
 def test_explicit_seed_changes_the_run():
     spec = RunSpec("baseline", "gzip", "base", 700)
     reseeded = RunSpec("baseline", "gzip", "base", 700, seed=12345)
@@ -48,6 +59,16 @@ def test_progress_reports(monkeypatch):
     assert all(isinstance(r, RunReport) for r in reports)
     assert all(r.source == "run" and r.seconds > 0.0 for r in reports)
     assert reports[0].instructions_per_second > 0.0
+
+
+def test_report_rate_clamps_sub_resolution_timings():
+    """Cache hits can be timed below the clock's resolution; the rate
+    must clamp (like bench/perf.py) instead of reporting 0 instr/s."""
+    spec = RunSpec("baseline", "gzip", "base", 700)
+    assert RunReport(spec, 0.0, "memory").instructions_per_second > 0.0
+    assert RunReport(spec, -1.0, "disk").instructions_per_second > 0.0
+    report = RunReport(spec, 2.0, "run")
+    assert report.instructions_per_second == pytest.approx(350.0)
 
 
 def test_default_jobs_env(monkeypatch):

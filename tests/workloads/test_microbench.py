@@ -65,3 +65,30 @@ def test_fp_storm_keeps_fp_units_hot(sim):
     alu = _run(sim, "alu_storm", "dcg")
     assert fp.family_savings["fp_units"] < 0.6
     assert alu.family_savings["fp_units"] == pytest.approx(1.0)
+
+
+def test_profile_seeds_stable_across_interpreters():
+    """Regression: profile seeds came from ``hash(name)``, which is
+    randomised per process (PYTHONHASHSEED) — so every microbenchmark
+    simulated differently from one interpreter to the next and the
+    IPC-threshold tests above flaked."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    script = ("from repro.workloads import MICROBENCHMARKS;"
+              "print(sorted((n, p.seed) for n, p in"
+              " MICROBENCHMARKS.items()))")
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+
+    def seeds(hashseed):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH=src)
+        return subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True, env=env).stdout
+
+    assert seeds("1") == seeds("2") == seeds("random")
