@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence, Union
 
-__all__ = ["format_table", "pct"]
+__all__ = ["format_table", "pct", "pct_or_na"]
 
 Cell = Union[str, float, int]
 
@@ -12,6 +13,19 @@ Cell = Union[str, float, int]
 def pct(value: float, digits: int = 1) -> str:
     """Format a fraction as a percentage string."""
     return f"{value * 100:.{digits}f}%"
+
+
+def pct_or_na(value: float, digits: int = 1) -> str:
+    """Like :func:`pct`, but renders undefined sentinels as ``n/a``.
+
+    A NaN (undefined, e.g. a single-sample std) or an infinity (a
+    guarded division by a zero mean) is a statement that the statistic
+    does not exist — printing ``nan%`` or ``inf%`` in a report table
+    reads like a formatting bug rather than a fact about the data.
+    """
+    if math.isnan(value) or math.isinf(value):
+        return "n/a"
+    return pct(value, digits=digits)
 
 
 def format_table(headers: Sequence[str],

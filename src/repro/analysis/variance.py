@@ -16,9 +16,74 @@ from typing import Dict, List, Optional, Sequence
 
 from ..sim.simulator import Simulator
 from ..workloads.profiles import ALL_BENCHMARKS
-from .tables import format_table, pct
+from .tables import format_table, pct, pct_or_na
 
-__all__ = ["SeedVariance", "seed_variance_study"]
+__all__ = ["SeedVariance", "confidence_interval", "sample_std",
+           "seed_variance_study", "t_critical"]
+
+
+# ---------------------------------------------------------------------------
+# small-sample statistics (stdlib only — no scipy in this environment)
+# ---------------------------------------------------------------------------
+
+#: two-sided Student-t critical values at 95% confidence, indexed by
+#: degrees of freedom (standard table values); past the table the
+#: distribution is close enough to normal that the last entry serves
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+_T95_ASYMPTOTE = 1.960
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    Only the 95% level is tabulated (the level every interval in this
+    repo reports); other levels raise rather than silently answering
+    the wrong question.
+    """
+    if confidence != 0.95:
+        raise ValueError("only 95% confidence is tabulated")
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if df in _T95:
+        return _T95[df]
+    for bound in sorted(_T95):
+        if df < bound:
+            return _T95[bound]
+    return _T95_ASYMPTOTE
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Bessel-corrected sample standard deviation; NaN below 2 samples."""
+    if len(values) < 2:
+        return math.nan
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(var)
+
+
+def confidence_interval(values: Sequence[float],
+                        confidence: float = 0.95
+                        ) -> "tuple[float, float]":
+    """Two-sided t-interval for the mean of ``values``.
+
+    Returns ``(lo, hi)``; with fewer than two samples the interval is
+    undefined and both ends are NaN (callers render that as "n/a"
+    rather than inventing a zero-width interval).
+    """
+    n = len(values)
+    if n < 2:
+        return (math.nan, math.nan)
+    mean = sum(values) / n
+    half = t_critical(n - 1, confidence) * sample_std(values) / math.sqrt(n)
+    return (mean - half, mean + half)
 
 
 @dataclass
@@ -35,11 +100,13 @@ class SeedVariance:
 
     @property
     def std_saving(self) -> float:
-        if len(self.savings) < 2:
-            return 0.0
-        mean = self.mean_saving
-        var = sum((s - mean) ** 2 for s in self.savings) / (len(self.savings) - 1)
-        return math.sqrt(var)
+        """Sample std of the saving; NaN for a single-seed study.
+
+        A one-seed study has no spread information at all — reporting
+        0.0 dressed it up as "perfectly stable", which is exactly the
+        claim the study exists to test.
+        """
+        return sample_std(self.savings)
 
     @property
     def mean_ipc(self) -> float:
@@ -47,9 +114,20 @@ class SeedVariance:
 
     @property
     def relative_spread(self) -> float:
-        """Std of the saving as a fraction of its mean."""
+        """Std of the saving as a fraction of its mean.
+
+        Guarded sentinels instead of a silent 0.0: NaN when the std
+        itself is undefined (single seed), +inf when the mean saving is
+        0 but the spread is not — the high-variance case a zero used to
+        mask.  The table formatter renders both as "n/a".
+        """
+        std = self.std_saving
+        if math.isnan(std):
+            return math.nan
         mean = self.mean_saving
-        return self.std_saving / mean if mean else 0.0
+        if mean == 0.0:
+            return 0.0 if std == 0.0 else math.inf
+        return std / mean
 
 
 def seed_variance_study(benchmarks: Sequence[str] = ("gzip", "mcf", "swim"),
@@ -80,7 +158,7 @@ def render_variance_table(study: Dict[str, SeedVariance]) -> str:
     rows = []
     for bench, var in study.items():
         rows.append([bench, len(var.savings), pct(var.mean_saving),
-                     pct(var.std_saving, digits=2),
+                     pct_or_na(var.std_saving, digits=2),
                      f"{var.mean_ipc:.2f}"])
     return format_table(
         ["benchmark", "seeds", "mean saving", "std", "mean IPC"], rows,

@@ -101,6 +101,15 @@ def _add_server_flag(parser: argparse.ArgumentParser) -> None:
                              "service (e.g. http://host:8765)")
 
 
+def _add_sample_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sample", default=None, metavar="KxL",
+                        help="interval sampling: cycle-simulate K windows "
+                             "of L instructions (fast-forwarding "
+                             "functionally between them) and report a "
+                             "weighted aggregate with 95%% confidence "
+                             "intervals, e.g. --sample 10x5000")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--deep", action="store_true",
                      help="use the 20-stage machine")
     _add_backend_flag(run)
+    _add_sample_flag(run)
 
     compare = sub.add_parser("compare", help="all policies on one benchmark")
     compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
@@ -122,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(compare)
     _add_jobs_flag(compare)
     _add_server_flag(compare)
+    _add_sample_flag(compare)
 
     figure = sub.add_parser("figure", help="regenerate a table/figure")
     figure.add_argument("id", choices=sorted(k for k, v in _FIGURES.items()
@@ -181,6 +192,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="directory for the crash-safe queue journal "
                             "(default: $REPRO_STATE_DIR); a restarted "
                             "server replays its outstanding jobs from it")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for mid-run simulation snapshots "
+                            "(default: $REPRO_CHECKPOINT_DIR, else "
+                            "<state-dir>/checkpoints when --state-dir is "
+                            "set); long and sampled runs resume from "
+                            "their last checkpoint after a crash/drain")
     serve.add_argument("--shard-of", default=None, metavar="LABEL",
                        help="federation shard label (e.g. shard0); "
                             "surfaces in /healthz and journal events so "
@@ -227,6 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--tag", default="baseline",
                         help="machine configuration tag (see sim.configs)")
     submit.add_argument("--instructions", type=_positive_int, default=None)
+    _add_sample_flag(submit)
     submit.add_argument("--server", default=None, metavar="URL",
                         help="service URL (default: $REPRO_SERVICE_URL or "
                              "http://127.0.0.1:8765)")
@@ -312,26 +330,50 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     if getattr(args, "server", None):
         from .service.client import ServiceClient
         remote = ServiceClient(args.server)
-    return ExperimentRunner(instructions=args.instructions,
-                            jobs=_jobs_or_exit(args),
-                            progress=_ProgressPrinter(), remote=remote)
+    try:
+        return ExperimentRunner(instructions=args.instructions,
+                                jobs=_jobs_or_exit(args),
+                                progress=_ProgressPrinter(), remote=remote,
+                                sample=getattr(args, "sample", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = deep_pipeline_config() if args.deep else baseline_config()
-    sim = Simulator(config)
-    base = sim.run_benchmark(args.benchmark, "base",
-                             instructions=args.instructions)
+    if args.sample:
+        from .sim.sampling import SampledRun, SampleSpec
+        try:
+            SampleSpec.parse(args.sample).validate(args.instructions)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
+        def simulate(policy: str):
+            return SampledRun(args.benchmark, policy, args.instructions,
+                              args.sample, config=config).run()
+    else:
+        sim = Simulator(config)
+
+        def simulate(policy: str):
+            return sim.run_benchmark(args.benchmark, policy,
+                                     instructions=args.instructions)
+
+    base = simulate("base")
     # the baseline doubles as the result when it is the requested
     # policy — don't simulate the same run twice
-    result = (base if args.policy == "base" else
-              sim.run_benchmark(args.benchmark, args.policy,
-                                instructions=args.instructions))
+    result = base if args.policy == "base" else simulate(args.policy)
     print(f"{args.benchmark} under {args.policy}: "
           f"{result.cycles} cycles, IPC {result.ipc:.2f}")
+    if result.sample:
+        print(f"sampled {result.sample}: {result.sampled_instructions} of "
+              f"{result.instructions} instructions cycle-simulated")
     print(f"power: {result.average_power:.2f} W of "
           f"{result.base_power:.2f} W base "
           f"({result.total_saving:.1%} saved)")
+    bounds = result.confidence.get("total_saving")
+    if bounds and not any(b != b for b in bounds):   # NaN-free interval
+        print(f"  saving 95% CI: [{bounds[0]:.1%}, {bounds[1]:.1%}] "
+              "across windows")
     print(f"performance vs base: {result.performance_relative(base):.1%}")
     for family, saving in sorted(result.family_savings.items()):
         print(f"  {family:12s} {saving:6.1%}")
@@ -443,13 +485,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 timeout=args.timeout,
                                 cache=cache,
                                 state_dir=args.state_dir,
-                                shard_id=args.shard_of)
+                                shard_id=args.shard_of,
+                                checkpoint_dir=args.checkpoint_dir)
     cache_note = service.runner.cache.root or "off (set REPRO_CACHE_DIR)"
     state_note = service.state_dir or "off (set REPRO_STATE_DIR)"
+    ckpt_note = service.checkpoint_dir or "off"
     shard_note = f", shard {args.shard_of}" if args.shard_of else ""
     print(f"repro service on http://{args.host}:{args.port}  "
           f"[{workers} worker(s), queue depth {args.queue_depth}, "
           f"disk cache {cache_note}, state {state_note}, "
+          f"checkpoints {ckpt_note}, "
           f"faults {get_plan().describe()}{shard_note}]", file=sys.stderr)
     if service.queue.restored:
         print(f"restored {service.queue.restored} outstanding job(s) "
@@ -524,6 +569,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
               "tag": args.tag}
     if args.instructions is not None:
         fields["instructions"] = args.instructions
+    if args.sample is not None:
+        fields["sample"] = args.sample
     deadline = args.timeout if args.wait else None
     try:
         job = client.submit_one(deadline_seconds=deadline, **fields)

@@ -265,6 +265,8 @@ class ServiceClient:
             "benchmark": spec.benchmark, "policy": spec.policy,
             "tag": spec.tag, "instructions": spec.instructions,
             "seed": spec.seed, "priority": priority,
+            **({"sample": spec.sample}
+               if getattr(spec, "sample", None) else {}),
         } for spec in specs]
         with span("client.run_specs", specs=len(fields),
                   server=self.base_url):

@@ -123,7 +123,8 @@ class Gateway:
             policy=fields.get("policy", "dcg"),
             tag=fields.get("tag", "baseline"),
             instructions=fields.get("instructions"),
-            seed=fields.get("seed"))
+            seed=fields.get("seed"),
+            sample=fields.get("sample"))
         return spec_fingerprint(spec, self.calibration)
 
     def submit_runs(self, requests: Sequence[Dict[str, Any]],

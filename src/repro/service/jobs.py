@@ -70,13 +70,14 @@ class JobState(enum.Enum):
 
 def make_spec(benchmark: str, policy: str = "dcg", tag: str = "baseline",
               instructions: Optional[int] = None,
-              seed: Optional[int] = None) -> RunSpec:
+              seed: Optional[int] = None,
+              sample: Optional[str] = None) -> RunSpec:
     """Validated :class:`RunSpec` from loose request fields.
 
     Resolves the profile's canonical name and default seed exactly the
     way :class:`~repro.sim.runner.ExperimentRunner` does, so a job
     submitted over the wire lands on the same cache fingerprint as a
-    local run.
+    local run.  ``sample`` is an optional "KxL" interval-sampling plan.
     """
     profile = get_profile(benchmark)        # raises KeyError with names
     if instructions is None:
@@ -84,7 +85,8 @@ def make_spec(benchmark: str, policy: str = "dcg", tag: str = "baseline",
         instructions = default_instructions()
     spec = RunSpec(tag=tag, benchmark=profile.name, policy=policy,
                    instructions=int(instructions),
-                   seed=profile.seed if seed is None else int(seed))
+                   seed=profile.seed if seed is None else int(seed),
+                   sample=str(sample) if sample is not None else None)
     validate_spec(spec)
     return spec
 
@@ -102,13 +104,17 @@ def validate_spec(spec: RunSpec) -> None:
     config_from_tag(spec.tag)               # raises ValueError on bad tag
     if spec.instructions <= 0:
         raise ValueError("instructions must be positive")
+    if getattr(spec, "sample", None):
+        from ..sim.sampling import SampleSpec
+        SampleSpec.parse(spec.sample).validate(spec.instructions)
 
 
 def spec_fingerprint(spec: RunSpec,
                      calibration: Optional[PowerCalibration] = None) -> str:
     """The spec's disk-cache content hash — the service's dedup key."""
     return fingerprint(config_from_tag(spec.tag), get_profile(spec.benchmark),
-                       spec.policy, spec.instructions, calibration, spec.seed)
+                       spec.policy, spec.instructions, calibration, spec.seed,
+                       sample=getattr(spec, "sample", None))
 
 
 # -- jobs -------------------------------------------------------------------
@@ -128,9 +134,15 @@ class Job:
     source: Optional[str] = None             #: "run" | "memory" | "disk"
     attempts: int = 0                        #: compute attempts (retries)
     requeues: int = 0                        #: shutdown re-queues
+    resumed_from_checkpoint: bool = False    #: picked up mid-run state
+    #: wall-clock stamps — display/UI only; durations never use these
+    #: (NTP steps and DST make wall-clock differences lie)
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: monotonic stamps — the only clock durations are computed from
+    started_monotonic: Optional[float] = None
+    finished_monotonic: Optional[float] = None
     trace_id: Optional[str] = None           #: submitter's trace
     parent_span_id: Optional[str] = None     #: submitter's active span
     deadline_at: Optional[float] = None      #: monotonic; None = no deadline
@@ -154,9 +166,16 @@ class Job:
 
     @property
     def seconds(self) -> Optional[float]:
-        if self.started_at is None or self.finished_at is None:
+        """Run duration from the monotonic clock.
+
+        Never derived from the wall-clock ``*_at`` stamps: a clock step
+        (NTP sync, manual adjustment) between start and finish would
+        report negative or wildly wrong durations into the latency
+        histogram and progress lines.
+        """
+        if self.started_monotonic is None or self.finished_monotonic is None:
             return None
-        return self.finished_at - self.started_at
+        return self.finished_monotonic - self.started_monotonic
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-encodable status record (results travel separately)."""
@@ -168,6 +187,7 @@ class Job:
             "tag": self.spec.tag,
             "instructions": self.spec.instructions,
             "seed": self.spec.seed,
+            "sample": getattr(self.spec, "sample", None),
             "key": self.key,
             "priority": self.priority,
             "source": self.source,
@@ -175,6 +195,7 @@ class Job:
             "traceback": self.error_traceback,
             "attempts": self.attempts,
             "requeues": self.requeues,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
             "seconds": self.seconds,
             "trace_id": self.trace_id,
             "expired": self.expired,
@@ -390,9 +411,19 @@ class JobQueue:
         rather than poisoning the queue.  Counted separately from
         ``submitted`` — restored work was already counted by its first
         life.  Returns the number restored.
+
+        A job whose persisted wall-clock deadline passed during the
+        outage is **failed** at restore — not silently re-queued.  No
+        client is waiting for it anymore; burning worker time on it
+        would only delay live work, and leaving it queued made the
+        restored depth lie about real backlog.  The failure goes
+        through the normal terminal accounting (journal ``fail``
+        record, ``failed`` counter) so a second restart does not
+        resurrect it again.
         """
         journal = get_journal()
         count = 0
+        now_wall = time.time()
         for record in pending:
             try:
                 spec = record.to_spec()
@@ -402,6 +433,31 @@ class JobQueue:
                 journal.emit("job.restore_skipped", job_id=record.id,
                              error=str(exc))
                 continue
+            deadline_wall = getattr(record, "deadline_wall", None)
+            if deadline_wall is not None and now_wall > deadline_wall:
+                job = Job(id=record.id, spec=spec, key=key,
+                          priority=record.priority,
+                          submitted_at=now_wall,
+                          trace_id=record.trace_id or new_trace_id(),
+                          parent_span_id=record.parent_span_id,
+                          _seq=next(self._seq))
+                job.state = JobState.FAILED
+                job.error = ("deadline expired while the server was "
+                             "down; not re-queued")
+                job.finished_at = now_wall
+                with self._cond:
+                    self._jobs[job.id] = job
+                    self._failed.inc()
+                if self.persist is not None:
+                    self.persist.record_fail(job.id)
+                job._done.set()
+                journal.emit("job.restore_expired", trace_id=job.trace_id,
+                             deadline_wall=deadline_wall,
+                             **job.event_fields())
+                continue
+            # surviving deadlines come back as fresh monotonic instants
+            deadline_at = (time.monotonic() + (deadline_wall - now_wall)
+                           if deadline_wall is not None else None)
             with self._cond:
                 if self._closed:
                     break
@@ -415,6 +471,7 @@ class JobQueue:
                           submitted_at=time.time(),
                           trace_id=record.trace_id or new_trace_id(),
                           parent_span_id=record.parent_span_id,
+                          deadline_at=deadline_at,
                           _seq=next(self._seq))
                 self._jobs[job.id] = job
                 self._inflight[key] = job
@@ -449,6 +506,7 @@ class JobQueue:
                         continue             # stale entry (re-queued twice)
                     job.state = JobState.RUNNING
                     job.started_at = time.time()
+                    job.started_monotonic = time.monotonic()
                     self._note_depth(self._queued_count())
                     get_journal().emit("job.dequeue",
                                        trace_id=job.trace_id,
@@ -472,6 +530,7 @@ class JobQueue:
             job.source = source
             job.state = JobState.DONE
             job.finished_at = time.time()
+            job.finished_monotonic = time.monotonic()
             self._inflight.pop(job.key, None)
             self._done.inc()
         # the terminal record lands before waiters wake: anything a
@@ -497,6 +556,7 @@ class JobQueue:
             job.error_traceback = traceback
             job.state = JobState.FAILED
             job.finished_at = time.time()
+            job.finished_monotonic = time.monotonic()
             self._inflight.pop(job.key, None)
             self._failed.inc()
         if self.persist is not None:
@@ -516,6 +576,7 @@ class JobQueue:
         with self._cond:
             job.state = JobState.QUEUED
             job.started_at = None
+            job.started_monotonic = None
             job.requeues += 1
             self._push(job)
             self._requeued.inc()

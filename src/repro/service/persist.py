@@ -23,10 +23,22 @@ Design notes:
   backlog, not the server's lifetime throughput.  The queue triggers
   it after :data:`COMPACT_EVERY` terminal records.
 
-Deadlines are deliberately **not** persisted: they are
-``time.monotonic()`` values, meaningless in another process; a
-restored job simply has no deadline (somebody wanted it once — the
-conservative choice is to run it).
+Deadlines are persisted as **wall-clock** instants
+(``deadline_wall``): the live queue works in ``time.monotonic()``
+terms, but a monotonic value is meaningless in another process, so
+the submit record carries the equivalent wall time.  At restore, a
+job whose wall deadline already passed during the outage is failed
+(no client is waiting for it); a surviving deadline is converted back
+into a fresh monotonic instant.  The wall clock only ever gates
+*whether* a restored job still matters — never a duration — so a
+clock step during the outage can at worst run or drop a borderline
+job, not corrupt accounting.
+
+``checkpoint`` records are provenance, not state: they note that a
+job's simulation snapshotted mid-run (the snapshot itself lives in
+the :class:`~repro.sim.checkpoint.CheckpointStore`), so an operator
+replaying the journal can see which restored jobs will resume rather
+than restart.  Replay ignores them for queue reconstruction.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -58,13 +71,19 @@ COMPACT_EVERY = 512
 
 @dataclass
 class PendingJob:
-    """One outstanding (accepted, not yet terminal) job from replay."""
+    """One outstanding (accepted, not yet terminal) job from replay.
+
+    ``deadline_wall`` is the job's client deadline as a wall-clock
+    instant (None = somebody waits forever); the restore path fails
+    jobs whose deadline expired during the outage.
+    """
 
     id: str
     spec_fields: Dict[str, Any]
     priority: int = 0
     trace_id: Optional[str] = None
     parent_span_id: Optional[str] = None
+    deadline_wall: Optional[float] = None
 
     def to_spec(self) -> RunSpec:
         return RunSpec(
@@ -72,21 +91,29 @@ class PendingJob:
             benchmark=self.spec_fields["benchmark"],
             policy=self.spec_fields["policy"],
             instructions=int(self.spec_fields["instructions"]),
-            seed=int(self.spec_fields["seed"]))
+            seed=int(self.spec_fields["seed"]),
+            sample=self.spec_fields.get("sample"))
 
     @classmethod
     def from_job(cls, job: Any) -> "PendingJob":
         spec = job.spec
+        deadline_at = getattr(job, "deadline_at", None)
+        # translate the queue's monotonic deadline into wall-clock terms
+        # for the journal; monotonic values die with this process
+        deadline_wall = (time.time() + (deadline_at - time.monotonic())
+                         if deadline_at is not None else None)
         return cls(
             id=job.id,
             spec_fields={
                 "tag": spec.tag, "benchmark": spec.benchmark,
                 "policy": spec.policy, "instructions": spec.instructions,
                 "seed": spec.seed,
+                "sample": getattr(spec, "sample", None),
             },
             priority=job.priority,
             trace_id=job.trace_id,
-            parent_span_id=job.parent_span_id)
+            parent_span_id=job.parent_span_id,
+            deadline_wall=deadline_wall)
 
 
 class QueueJournal:
@@ -120,6 +147,7 @@ class QueueJournal:
             "op": "submit", "id": pending.id,
             "priority": pending.priority, "trace_id": pending.trace_id,
             "parent_span_id": pending.parent_span_id,
+            "deadline_wall": pending.deadline_wall,
             "spec": pending.spec_fields,
         })
 
@@ -132,6 +160,20 @@ class QueueJournal:
         self._append({"op": "fail", "id": job_id})
         with self._lock:
             self._since_compact += 1
+
+    def record_checkpoint(self, job_id: str, key: str,
+                          progress: Optional[Dict[str, Any]] = None
+                          ) -> None:
+        """Provenance note: ``job_id``'s simulation snapshotted mid-run.
+
+        ``key`` is the checkpoint's fingerprint (also the cache/dedup
+        key) and ``progress`` whatever position metadata the store
+        kept (committed count or window index).  Replay ignores these
+        records; they exist so the journal tells the whole story of a
+        job that died and resumed.
+        """
+        self._append({"op": "checkpoint", "id": job_id, "key": key,
+                      "progress": dict(progress or {})})
 
     def should_compact(self) -> bool:
         with self._lock:
@@ -169,13 +211,18 @@ class QueueJournal:
                         spec = record.get("spec")
                         if not isinstance(spec, dict):
                             continue
+                        deadline_wall = record.get("deadline_wall")
+                        if not isinstance(deadline_wall, (int, float)):
+                            deadline_wall = None
                         pending[job_id] = PendingJob(
                             id=job_id, spec_fields=spec,
                             priority=int(record.get("priority") or 0),
                             trace_id=record.get("trace_id"),
-                            parent_span_id=record.get("parent_span_id"))
+                            parent_span_id=record.get("parent_span_id"),
+                            deadline_wall=deadline_wall)
                     elif op in ("done", "fail"):
                         pending.pop(job_id, None)
+                    # "checkpoint" records are provenance only: ignored
         except OSError:
             return []
         return list(pending.values())
@@ -195,6 +242,7 @@ class QueueJournal:
                         "id": job.id, "priority": job.priority,
                         "trace_id": job.trace_id,
                         "parent_span_id": job.parent_span_id,
+                        "deadline_wall": job.deadline_wall,
                         "spec": job.spec_fields,
                     }, sort_keys=True, separators=(",", ":")) + "\n")
             os.replace(tmp_path, self.path)

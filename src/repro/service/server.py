@@ -44,6 +44,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import activate, context_from_headers, span
 from ..power.budget import PowerCalibration
 from ..sim.cache import ResultCache, result_to_dict
+from ..sim.checkpoint import CHECKPOINT_DIR_ENV_VAR
 from ..sim.runner import ExperimentRunner
 from .client import DEADLINE_HEADER
 from .jobs import Job, JobQueue, QueueClosed, QueueFull, make_spec
@@ -83,7 +84,8 @@ class SimulationService:
                  compute=None,
                  degraded_after: float = 30.0,
                  state_dir: Optional[str] = None,
-                 shard_id: Optional[str] = None) -> None:
+                 shard_id: Optional[str] = None,
+                 checkpoint_dir: Optional[str] = None) -> None:
         self.registry = MetricsRegistry()
         #: federation label (``repro serve --shard-of``); surfaces in
         #: /healthz and journal events so a multi-node trace names the
@@ -94,6 +96,17 @@ class SimulationService:
         if state_dir is None:
             state_dir = os.environ.get(STATE_DIR_ENV_VAR) or None
         self.state_dir = state_dir
+        # checkpointing rides on the state directory by default: a
+        # stateful server snapshots long runs, a stateless one doesn't.
+        # Exported through the environment (not passed object-to-object)
+        # so forked compute children and pool workers inherit the store.
+        if checkpoint_dir is None:
+            checkpoint_dir = os.environ.get(CHECKPOINT_DIR_ENV_VAR) or None
+        if checkpoint_dir is None and state_dir:
+            checkpoint_dir = os.path.join(state_dir, "checkpoints")
+        self.checkpoint_dir = checkpoint_dir
+        if checkpoint_dir:
+            os.environ[CHECKPOINT_DIR_ENV_VAR] = checkpoint_dir
         persist = None
         pending = []
         if state_dir:
@@ -163,7 +176,8 @@ class SimulationService:
                 tag=fields.get("tag", "baseline"),
                 instructions=(fields.get("instructions")
                               or self.runner.instructions),
-                seed=fields.get("seed"))
+                seed=fields.get("seed"),
+                sample=fields.get("sample"))
         except KeyError as exc:
             raise ValueError(f"missing or unknown field: {exc}") from None
         priority = int(fields.get("priority", 0))

@@ -33,6 +33,8 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import (SpanContext, activate, current_context,
                            new_span_id, new_trace_id, span)
 from ..sim.cache import result_from_dict, result_to_dict
+from ..sim.checkpoint import (CheckpointStore, SimulationInterrupted,
+                              spec_checkpoint_key)
 from ..sim.parallel import RunSpec, simulate_spec
 from ..sim.runner import ExperimentRunner
 from ..sim.simulator import SimulationResult
@@ -225,6 +227,12 @@ class WorkerPool:
         self._expired = self.registry.counter(
             "repro_jobs_expired_total", "jobs skipped because every "
             "client's deadline had passed")
+        # env-rooted (REPRO_CHECKPOINT_DIR); disabled when unset, in
+        # which case every peek below is a cheap None
+        self.checkpoints = CheckpointStore()
+        self._resumes = self.registry.counter(
+            "repro_jobs_resumed_total", "jobs that resumed a simulation "
+            "from a mid-run checkpoint")
         # bounded reservoir replaces the old grow-forever deque; p50/p95
         # stay available at O(1) memory over the server's whole lifetime
         self._job_seconds = self.registry.histogram(
@@ -263,6 +271,10 @@ class WorkerPool:
     @property
     def expired(self) -> int:
         return int(self._expired.value)
+
+    @property
+    def resumed(self) -> int:
+        return int(self._resumes.value)
 
     @property
     def hits(self) -> Dict[str, int]:
@@ -363,9 +375,36 @@ class WorkerPool:
                             f"{overdue:.1f}s before the job ran; "
                             "nobody is waiting for this result")
             return
+        if self.checkpoints.enabled:
+            # a snapshot from a previous life (crash, drain, kill -9)
+            # means the compute below resumes mid-run; record the
+            # provenance before it happens so the journal tells the
+            # story even if this attempt dies too
+            key = spec_checkpoint_key(spec, self.runner.calibration)
+            snapshot = self.checkpoints.peek(key)
+            if snapshot is not None:
+                job.resumed_from_checkpoint = True
+                self._resumes.inc()
+                get_journal().emit("job.resume_from_checkpoint",
+                                   trace_id=job.trace_id,
+                                   progress=snapshot,
+                                   **job.event_fields())
+                if self.queue.persist is not None:
+                    self.queue.persist.record_checkpoint(job.id, key,
+                                                         snapshot)
         start = time.perf_counter()
         try:
             result = self._attempt(job)
+        except SimulationInterrupted:
+            # drain hit mid-simulation: the sim layer already saved a
+            # snapshot at the last chunk/window boundary, so re-queue —
+            # the job's next life resumes instead of restarting
+            if self.queue.persist is not None and self.checkpoints.enabled:
+                key = spec_checkpoint_key(spec, self.runner.calibration)
+                self.queue.persist.record_checkpoint(
+                    job.id, key, self.checkpoints.peek(key))
+            self.queue.requeue(job)
+            return
         except ShutdownRequested:
             self.queue.requeue(job)
             return
@@ -430,7 +469,10 @@ class WorkerPool:
 
     def _default_compute(self, spec: RunSpec) -> SimulationResult:
         if self.timeout is None:
-            return simulate_spec(spec, self.runner.calibration)
+            # the stop event lets sampled/checkpointed runs snapshot
+            # and bail at the next window/chunk boundary on drain
+            return simulate_spec(spec, self.runner.calibration,
+                                 stop=self._stop)
         return compute_in_subprocess(spec, self.runner.calibration,
                                      self.timeout, self._stop,
                                      context=current_context())
@@ -457,6 +499,7 @@ class WorkerPool:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "expired": self.expired,
+            "resumed": self.resumed,
             "p50_seconds": self._job_seconds.percentile(0.50),
             "p95_seconds": self._job_seconds.percentile(0.95),
             "sim_seconds_total": sim_seconds,

@@ -1,20 +1,29 @@
 """Simulation drivers: facade, experiment runner, canonical configs,
-the on-disk result cache, and the multiprocessing grid executor."""
+the on-disk result cache, checkpoint/sampling long-run machinery, and
+the multiprocessing grid executor."""
 
 from .cache import ResultCache, fingerprint
+from .checkpoint import (CheckpointStore, PausableRun,
+                         SimulationInterrupted, run_resumable_spec)
 from .configs import (baseline_config, config_from_tag,
                       deep_pipeline_config, default_instructions)
 from .parallel import RunReport, RunSpec, default_jobs, execute_specs
 from .runner import ExperimentRunner
+from .sampling import SampledRun, SampleSpec, run_sampled_spec
 from .simulator import (BUILTIN_POLICIES, SimulationResult, Simulator,
                         make_policy)
 
 __all__ = [
     "BUILTIN_POLICIES",
+    "CheckpointStore",
     "ExperimentRunner",
+    "PausableRun",
     "ResultCache",
     "RunReport",
     "RunSpec",
+    "SampleSpec",
+    "SampledRun",
+    "SimulationInterrupted",
     "SimulationResult",
     "Simulator",
     "baseline_config",
@@ -25,4 +34,6 @@ __all__ = [
     "execute_specs",
     "fingerprint",
     "make_policy",
+    "run_resumable_spec",
+    "run_sampled_spec",
 ]

@@ -73,8 +73,14 @@ def _jsonable(value: Any) -> Any:
 def fingerprint(config: MachineConfig, profile: BenchmarkProfile,
                 policy: str, instructions: int,
                 calibration: Optional[PowerCalibration] = None,
-                seed: Optional[int] = None) -> str:
-    """Content hash of everything a simulation's outcome depends on."""
+                seed: Optional[int] = None,
+                sample: Optional[str] = None) -> str:
+    """Content hash of everything a simulation's outcome depends on.
+
+    ``sample`` is the "KxL" sampling plan of a sampled run; it joins
+    the payload only when set, so every pre-existing full-run
+    fingerprint (and the cache entries filed under them) stays stable.
+    """
     payload = {
         "version": CACHE_VERSION,
         "config": _jsonable(config),
@@ -84,6 +90,8 @@ def fingerprint(config: MachineConfig, profile: BenchmarkProfile,
         "calibration": _jsonable(calibration or PowerCalibration()),
         "seed": seed,
     }
+    if sample is not None:
+        payload["sample"] = sample
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -126,8 +134,14 @@ def _stats_from_dict(data: Dict[str, Any]) -> SimStats:
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
-    """JSON-encodable form of a :class:`SimulationResult`."""
-    return {
+    """JSON-encodable form of a :class:`SimulationResult`.
+
+    The sampling keys appear only on sampled-run aggregates, so a full
+    run serialises exactly as it did before sampling existed — the
+    golden invariance captures (and any cache entry written by an
+    older tree) stay byte-identical.
+    """
+    data = {
         "benchmark": result.benchmark,
         "policy": result.policy,
         "instructions": result.instructions,
@@ -142,6 +156,13 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         "stats": (_stats_to_dict(result.stats)
                   if result.stats is not None else None),
     }
+    if result.sample is not None:
+        data["sample"] = result.sample
+        data["sampled_instructions"] = result.sampled_instructions
+        data["confidence"] = {metric: list(bounds)
+                              for metric, bounds in
+                              result.confidence.items()}
+    return data
 
 
 def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
@@ -160,6 +181,12 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
                if data.get("stats") is not None else None),
         mode_cycles={int(k): v for k, v in data["mode_cycles"].items()},
         fu_toggles=data["fu_toggles"],
+        # .get(): entries written before sampling existed lack these
+        sample=data.get("sample"),
+        sampled_instructions=int(data.get("sampled_instructions") or 0),
+        confidence={metric: tuple(bounds)
+                    for metric, bounds in (data.get("confidence")
+                                           or {}).items()},
     )
 
 

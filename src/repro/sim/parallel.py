@@ -40,6 +40,8 @@ class RunSpec:
     ``seed`` is the resolved trace-generator seed (the profile's own
     seed unless a variance study overrides it), fixed at submission
     time so parallel and serial executions replay identical streams.
+    ``sample`` is an optional "KxL" interval-sampling plan (see
+    :mod:`repro.sim.sampling`); None means a full run.
     """
 
     tag: str
@@ -47,6 +49,7 @@ class RunSpec:
     policy: str
     instructions: int
     seed: Optional[int] = None
+    sample: Optional[str] = None
 
 
 @dataclass
@@ -107,9 +110,46 @@ def _worker_simulator(tag: str) -> Simulator:
     return _WORKER_SIMULATORS[tag]
 
 
+def _run_spec_inner(spec: RunSpec,
+                    calibration: Optional[PowerCalibration],
+                    simulator: Optional[Simulator],
+                    stop: Optional[object],
+                    sampler: Optional[PipelineSampler]) -> SimulationResult:
+    """Dispatch one spec to the right execution strategy.
+
+    Sampled specs go through :func:`~repro.sim.sampling.run_sampled_spec`
+    (interval sampling + window-boundary checkpoints); long plain runs
+    with a checkpoint store configured go through
+    :func:`~repro.sim.checkpoint.run_resumable_spec` (chunked with
+    snapshots between chunks); everything else takes the original
+    straight-through path.  Imports are deferred so the common path —
+    and the package import graph — never touches the sampling module.
+    """
+    # the pool path passes a prebuilt Simulator but no calibration;
+    # recover it so checkpoint keys and power numbers stay consistent
+    if calibration is None and simulator is not None:
+        calibration = simulator.calibration
+    if getattr(spec, "sample", None):
+        from .sampling import run_sampled_spec
+        return run_sampled_spec(spec, calibration, stop=stop)
+    from .checkpoint import CheckpointStore, checkpoint_chunk, \
+        run_resumable_spec
+    store = CheckpointStore()
+    if store.enabled and spec.instructions >= 2 * checkpoint_chunk():
+        return run_resumable_spec(spec, calibration, store=store,
+                                  stop=stop)
+    sim = simulator or Simulator(config_from_tag(spec.tag), calibration)
+    return sim.run_benchmark(spec.benchmark, spec.policy,
+                             instructions=spec.instructions,
+                             seed=spec.seed,
+                             observers=[sampler.observe] if sampler
+                             else None)
+
+
 def simulate_spec(spec: RunSpec,
                   calibration: Optional[PowerCalibration] = None,
-                  simulator: Optional[Simulator] = None) -> SimulationResult:
+                  simulator: Optional[Simulator] = None,
+                  stop: Optional[object] = None) -> SimulationResult:
     """Run one grid cell from scratch (no caching).
 
     The single sim-level observability chokepoint: with a journal
@@ -118,26 +158,29 @@ def simulate_spec(spec: RunSpec,
     it attaches a :class:`~repro.obs.sampling.PipelineSampler` and
     emits its histograms as a ``sim.sample`` event.  With neither, the
     original zero-instrumentation path runs.
+
+    ``stop`` is an optional ``threading.Event``-like object consulted
+    by the sampled/checkpointed strategies at window/chunk boundaries;
+    when it fires mid-run the state is snapshotted and
+    :class:`~repro.sim.checkpoint.SimulationInterrupted` propagates.
     """
-    sim = simulator or Simulator(config_from_tag(spec.tag), calibration)
     journal = get_journal()
-    sampling = sampling_enabled()
+    # the per-cycle sampler hooks a single pipeline's observer list, so
+    # it only applies to the straight-through strategy
+    sampling = (sampling_enabled() and not getattr(spec, "sample", None))
     if not journal.enabled and not sampling:
-        return sim.run_benchmark(spec.benchmark, spec.policy,
-                                 instructions=spec.instructions,
-                                 seed=spec.seed)
+        return _run_spec_inner(spec, calibration, simulator, stop, None)
     ident = {"benchmark": spec.benchmark, "policy": spec.policy,
              "tag": spec.tag}
     with span("sim", **ident):
         journal.emit("sim.start", instructions=spec.instructions,
-                     seed=spec.seed, **ident)
+                     seed=spec.seed, sample=getattr(spec, "sample", None),
+                     **ident)
         sampler = PipelineSampler() if sampling else None
         start = time.perf_counter()
         try:
-            result = sim.run_benchmark(
-                spec.benchmark, spec.policy,
-                instructions=spec.instructions, seed=spec.seed,
-                observers=[sampler.observe] if sampler else None)
+            result = _run_spec_inner(spec, calibration, simulator, stop,
+                                     sampler)
         except Exception as exc:
             journal.emit("sim.error",
                          seconds=time.perf_counter() - start,

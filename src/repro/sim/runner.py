@@ -60,6 +60,11 @@ class ExperimentRunner:
         :class:`~repro.service.client.ServiceClient`).  When set, cache
         misses are submitted to a shared simulation server instead of
         simulated in-process; hits are still answered locally.
+    sample:
+        Optional "KxL" interval-sampling plan applied to every run this
+        runner issues (see :mod:`repro.sim.sampling`).  Sampled results
+        are cached under their own fingerprints, so sampled and full
+        studies never alias each other.
     """
 
     def __init__(self, instructions: Optional[int] = None,
@@ -67,7 +72,8 @@ class ExperimentRunner:
                  cache: Optional[ResultCache] = None,
                  jobs: int = 1,
                  progress: Optional[ProgressFn] = None,
-                 remote: Optional[object] = None) -> None:
+                 remote: Optional[object] = None,
+                 sample: Optional[str] = None) -> None:
         if instructions is None:
             instructions = default_instructions()
         elif instructions <= 0:
@@ -78,6 +84,10 @@ class ExperimentRunner:
         self.jobs = jobs
         self.progress = progress
         self.remote = remote
+        if sample is not None:
+            from .sampling import SampleSpec
+            SampleSpec.parse(sample).validate(self.instructions)
+        self.sample = sample
         self._simulators: Dict[str, Simulator] = {}
         self._cache: Dict[Tuple[str, str, str], SimulationResult] = {}
 
@@ -97,12 +107,14 @@ class ExperimentRunner:
     def _spec(self, benchmark: str, policy: str, tag: str) -> RunSpec:
         profile = get_profile(benchmark)
         return RunSpec(tag=tag, benchmark=profile.name, policy=policy,
-                       instructions=self.instructions, seed=profile.seed)
+                       instructions=self.instructions, seed=profile.seed,
+                       sample=self.sample)
 
     def _fingerprint(self, spec: RunSpec) -> str:
         return fingerprint(self._make_config(spec.tag),
                            get_profile(spec.benchmark), spec.policy,
-                           spec.instructions, self.calibration, spec.seed)
+                           spec.instructions, self.calibration, spec.seed,
+                           sample=spec.sample)
 
     def _report(self, spec: RunSpec, seconds: float, source: str,
                 batch_size: int = 1) -> None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from ..core.dcg import DCGPolicy
 from ..core.interface import GatingPolicy, NoGatingPolicy
@@ -27,7 +27,7 @@ from ..workloads.profiles import BenchmarkProfile, get_profile
 from ..workloads.synthetic import SyntheticTraceGenerator
 from .configs import baseline_config, default_instructions
 
-__all__ = ["SimulationResult", "Simulator", "make_policy",
+__all__ = ["SimulationResult", "Simulator", "build_result", "make_policy",
            "BUILTIN_POLICIES", "BACKENDS", "BACKEND_ENV_VAR",
            "resolve_backend"]
 
@@ -72,6 +72,14 @@ class SimulationResult:
     stats: Optional[SimStats] = None
     mode_cycles: Dict[int, int] = field(default_factory=dict)  #: PLB only
     fu_toggles: int = 0                                        #: DCG only
+    #: "KxL" when this result is a sampled-run aggregate, else None
+    sample: Optional[str] = None
+    #: instructions actually cycle-simulated (== ``instructions`` for a
+    #: full run; K*L for a sampled one)
+    sampled_instructions: int = 0
+    #: per-metric 95% confidence intervals across sample windows,
+    #: e.g. ``{"total_saving": (lo, hi)}``; empty for full runs
+    confidence: Dict[str, Tuple[float, float]] = field(default_factory=dict)
 
     @property
     def power_delay(self) -> float:
@@ -86,6 +94,39 @@ class SimulationResult:
     def performance_relative(self, base: "SimulationResult") -> float:
         """This run's performance as a fraction of the base run's."""
         return base.cycles / self.cycles if self.cycles else 0.0
+
+
+def build_result(name: str, policy_obj: GatingPolicy,
+                 accountant: PowerAccountant,
+                 stats: SimStats) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a finished pipeline.
+
+    Shared by :class:`Simulator`, the checkpointable
+    :class:`~repro.sim.checkpoint.PausableRun`, and the per-window
+    results of :class:`~repro.sim.sampling.SampledRun`, so all three
+    produce byte-identical results from identical pipeline state.
+    """
+    family_savings = {
+        fam: accountant.family_saving(fam)
+        for fam in accountant.families}
+    family_savings["exec_units"] = accountant.exec_units_saving()
+    result = SimulationResult(
+        benchmark=name,
+        policy=policy_obj.name,
+        instructions=stats.committed,
+        cycles=stats.cycles,
+        ipc=stats.ipc,
+        base_power=accountant.base_power,
+        average_power=accountant.average_power,
+        total_saving=accountant.total_saving_fraction,
+        family_savings=family_savings,
+        stats=stats,
+    )
+    if isinstance(policy_obj, PLBPolicy):
+        result.mode_cycles = dict(policy_obj.mode_cycles)
+    if isinstance(policy_obj, DCGPolicy):
+        result.fu_toggles = policy_obj.toggle_count
+    return result
 
 
 def make_policy(name: str) -> GatingPolicy:
@@ -177,25 +218,4 @@ class Simulator:
             for observer in observers:
                 pipeline.add_observer(observer)
         stats = pipeline.run(max_instructions=instructions)
-
-        family_savings = {
-            fam: accountant.family_saving(fam)
-            for fam in accountant.families}
-        family_savings["exec_units"] = accountant.exec_units_saving()
-        result = SimulationResult(
-            benchmark=name,
-            policy=policy_obj.name,
-            instructions=stats.committed,
-            cycles=stats.cycles,
-            ipc=stats.ipc,
-            base_power=accountant.base_power,
-            average_power=accountant.average_power,
-            total_saving=accountant.total_saving_fraction,
-            family_savings=family_savings,
-            stats=stats,
-        )
-        if isinstance(policy_obj, PLBPolicy):
-            result.mode_cycles = dict(policy_obj.mode_cycles)
-        if isinstance(policy_obj, DCGPolicy):
-            result.fu_toggles = policy_obj.toggle_count
-        return result
+        return build_result(name, policy_obj, accountant, stats)

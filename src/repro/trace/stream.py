@@ -46,6 +46,37 @@ class TraceStream:
         return self._delivered
 
     @property
+    def source_drawn(self) -> int:
+        """Micro-ops drawn from the underlying iterator so far.
+
+        ``delivered`` plus the op sitting in the lookahead slot.  This
+        is the replay position checkpointing records: re-creating the
+        seeded generator and discarding ``source_drawn`` ops puts a
+        fresh iterator exactly where this one is.
+        """
+        return self._delivered + (1 if self._lookahead is not None else 0)
+
+    def rebind(self, source: Iterable[MicroOp]) -> None:
+        """Attach a new underlying iterator (checkpoint restore).
+
+        The stream's own position (``delivered``, lookahead, limit
+        accounting) is untouched; ``source`` must already be advanced
+        to the recorded ``source_drawn`` position minus any op held in
+        the pickled lookahead slot.
+        """
+        self._it = iter(source)
+
+    def __getstate__(self) -> dict:
+        # the generator iterator is not picklable; drop it and let the
+        # restore path rebind() a replayed one
+        state = dict(self.__dict__)
+        state["_it"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    @property
     def exhausted(self) -> bool:
         """True once no further micro-ops will be delivered."""
         if self._lookahead is not None:
@@ -59,6 +90,10 @@ class TraceStream:
         if self._limit is not None and self._delivered >= self._limit:
             self._done = True
             return
+        if self._it is None:
+            raise RuntimeError(
+                "trace stream has no source; a checkpoint-restored "
+                "stream must be rebind()-ed before use")
         try:
             self._lookahead = next(self._it)
         except StopIteration:

@@ -1,5 +1,7 @@
 """Seed-variance study."""
 
+import math
+
 import pytest
 
 from repro.analysis import (
@@ -7,6 +9,8 @@ from repro.analysis import (
     render_variance_table,
     seed_variance_study,
 )
+from repro.analysis.variance import (confidence_interval, sample_std,
+                                     t_critical)
 
 
 def test_study_structure():
@@ -47,7 +51,55 @@ def test_render_table():
     assert "gzip" in text and "21.0%" in text
 
 
-def test_single_seed_std_zero():
+def test_single_seed_std_is_nan_not_zero():
+    """A one-seed study has no spread information; reporting 0.0 used
+    to dress it up as 'perfectly stable' — the exact claim the study
+    exists to test."""
     var = SeedVariance("x", [0.2], [1.0])
-    assert var.std_saving == 0.0
+    assert math.isnan(var.std_saving)
+    assert math.isnan(var.relative_spread)
+
+
+def test_single_seed_renders_na():
+    text = render_variance_table({"x": SeedVariance("x", [0.2], [1.0])})
+    assert "n/a" in text
+    assert "0.00%" not in text
+
+
+def test_zero_mean_nonzero_std_spread_is_inf():
+    """Mean saving 0 with real spread is the high-variance case a
+    silent 0.0 used to mask."""
+    var = SeedVariance("x", [-0.1, 0.1], [1.0, 1.0])
+    assert var.mean_saving == 0.0
+    assert var.std_saving > 0.0
+    assert math.isinf(var.relative_spread)
+
+
+def test_zero_mean_zero_std_spread_is_zero():
+    var = SeedVariance("x", [0.0, 0.0], [1.0, 1.0])
     assert var.relative_spread == 0.0
+
+
+def test_sample_std_bessel():
+    assert sample_std([1.0, 3.0]) == pytest.approx(math.sqrt(2.0))
+    assert math.isnan(sample_std([1.0]))
+
+
+def test_t_critical_table():
+    assert t_critical(1) == pytest.approx(12.706)
+    assert t_critical(9) == pytest.approx(2.262)
+    # between tabulated entries: round up (conservative)
+    assert t_critical(35) == pytest.approx(2.021)
+    assert t_critical(10_000) == pytest.approx(1.960)
+    with pytest.raises(ValueError):
+        t_critical(0)
+    with pytest.raises(ValueError):
+        t_critical(5, confidence=0.99)
+
+
+def test_confidence_interval():
+    lo, hi = confidence_interval([1.0, 2.0, 3.0])
+    assert lo == pytest.approx(2.0 - 4.303 * 1.0 / math.sqrt(3))
+    assert hi == pytest.approx(2.0 + 4.303 * 1.0 / math.sqrt(3))
+    lo1, hi1 = confidence_interval([2.0])
+    assert math.isnan(lo1) and math.isnan(hi1)

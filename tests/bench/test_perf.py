@@ -49,6 +49,17 @@ def test_report_validates(report):
     validate_report(report)   # must not raise
 
 
+def test_sampled_case_in_default_matrix(report):
+    sampled = [r for r in report["results"] if "sample" in r]
+    assert len(sampled) == 1
+    record = sampled[0]
+    assert record["sample"] == "3x300"
+    assert record["sampled_instructions"] == 900
+    assert record["instructions"] == TINY     # the budget it stands for
+    case = [c for c in DEFAULT_CASES if c.sample][0]
+    assert case.label == "gzip/dcg@3x300"
+
+
 def test_progress_callback_sees_every_case():
     seen = []
     run_bench(instructions=TINY, cases=DEFAULT_CASES[:2], tag="p",

@@ -30,6 +30,9 @@ def _isolated_globals(monkeypatch):
     monkeypatch.delenv("REPRO_LOG_DIR", raising=False)
     monkeypatch.delenv("REPRO_LOG", raising=False)
     monkeypatch.delenv("REPRO_STATE_DIR", raising=False)
+    # a stateful SimulationService exports its checkpoint dir into the
+    # environment; scrub it so it can't leak across tests
+    monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
     configure_faults(None)
     configure_journal()
     yield
